@@ -1,0 +1,44 @@
+"""Figure 8: TeraHeap vs PS (jdk11) vs G1 (jdk17) on the Spark suite.
+
+Paper shape: G1 matches or beats PS by cutting GC but keeps paying
+caching S/D; TeraHeap beats both (21-48% over G1); G1 OOMs on SVM, BC and
+RL from humongous-object fragmentation.
+"""
+
+from conftest import BENCH_SCALE, run_once
+from repro.experiments import fig08
+
+
+def test_fig08_collectors(benchmark):
+    results = run_once(benchmark, fig08.run, scale=BENCH_SCALE)
+    print("\n" + fig08.format_results(results))
+    th_vs_g1 = {}
+    g1_ooms = []
+    for name, rows in results.items():
+        by_system = {r.system: r for r in rows}
+        if by_system["spark-g1"].oom:
+            g1_ooms.append(name)
+        elif not by_system["teraheap"].oom:
+            th_vs_g1[name] = round(
+                1 - by_system["teraheap"].total / by_system["spark-g1"].total,
+                3,
+            )
+        # TeraHeap beats PS wherever both run.  TR is the known deviation
+        # (EXPERIMENTS.md): its cached data fits on-heap, so against the
+        # parallel-old jdk11 PS the fencing win and the transfer cost
+        # roughly cancel at simulation scale.
+        ps = by_system["spark-sd11"]
+        th = by_system["teraheap"]
+        if not ps.oom and not th.oom:
+            slack = 1.10 if name == "TR" else 1.0
+            assert th.total < ps.total * slack, name
+    print(f"\nG1 OOM workloads: {g1_ooms}")
+    print(f"TeraHeap improvement vs G1: {th_vs_g1}")
+    benchmark.extra_info["g1_ooms"] = g1_ooms
+    benchmark.extra_info["th_vs_g1"] = th_vs_g1
+    # The paper's G1 fragmentation victims.
+    assert set(g1_ooms) >= {"SVM", "BC"}
+    # TH beats G1 (21-48% in the paper); TR is the documented deviation.
+    assert all(v > 0 for n, v in th_vs_g1.items() if n != "TR")
+    if "TR" in th_vs_g1:
+        assert th_vs_g1["TR"] > -0.15

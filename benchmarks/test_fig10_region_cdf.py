@@ -1,0 +1,32 @@
+"""Figure 10: CDFs of live objects / live space per H2 region (16 vs 256 MB).
+
+Paper shape: PR/CDLP/WCC reclaim most of their allocated regions (dead
+message stores die wholesale); BFS/SSSP reclaim far fewer (long-lived
+edges pin regions); unused region space stays small.
+"""
+
+from conftest import run_once
+from repro.experiments import fig10
+
+
+def test_fig10_region_liveness_cdfs(benchmark):
+    results = run_once(benchmark, fig10.run)
+    print("\n" + fig10.format_results(results))
+    reclaimed = {}
+    for name, series in results.items():
+        for cdf in series:
+            reclaimed[(name, cdf.region_size_mb)] = round(
+                cdf.reclaimed_fraction, 3
+            )
+            # CDF series are well-formed for plotting.
+            los = cdf.live_object_fractions()
+            lss = cdf.live_space_fractions()
+            assert los == sorted(los) and all(0 <= f <= 1 for f in los)
+            assert lss == sorted(lss) and all(0 <= f <= 1 for f in lss)
+    benchmark.extra_info["reclaimed_fraction"] = {
+        f"{k[0]}@{k[1]}MB": v for k, v in reclaimed.items()
+    }
+    print(f"\nreclaimed fraction per (workload, region size): {reclaimed}")
+    # Message-store workloads reclaim far more than traversal workloads.
+    assert reclaimed[("PR", 16)] > reclaimed[("BFS", 16)]
+    assert reclaimed[("CDLP", 16)] > reclaimed[("SSSP", 16)]

@@ -1,0 +1,50 @@
+"""Figure 13: scaling with mutator threads (a) and dataset size (b).
+
+Paper: TeraHeap keeps improving with 16 threads (up to 23%); Spark-SD
+stalls because GC grows (~44% for LR); TeraHeap's advantage holds or
+grows with dataset size (up to 70%).
+"""
+
+from conftest import run_once
+from repro.experiments import fig13
+
+
+def test_fig13a_thread_scaling(benchmark):
+    results = run_once(benchmark, fig13.run_thread_scaling, scale=0.3)
+    print("\n" + fig13.format_thread_scaling(results))
+    summary = {}
+    for workload, per_system in results.items():
+        for system, per_threads in per_system.items():
+            r8, r16 = per_threads.get(8), per_threads.get(16)
+            if r8 and r16 and not (r8.oom or r16.oom):
+                summary[f"{workload}/{system}"] = round(
+                    r16.total / r8.total, 3
+                )
+    benchmark.extra_info["t16_over_t8"] = summary
+    print(f"\n16-thread time normalised to 8 threads: {summary}")
+    # TeraHeap scales; the baselines stall or regress.
+    for workload, base in [("CC", "spark-sd"), ("LR", "spark-sd"),
+                           ("CDLP", "giraph-ooc")]:
+        th = "teraheap" if base == "spark-sd" else "giraph-th"
+        assert summary[f"{workload}/{th}"] < summary[f"{workload}/{base}"]
+
+
+def test_fig13b_dataset_scaling(benchmark):
+    results = run_once(benchmark, fig13.run_dataset_scaling, scale=0.3)
+    gains = {}
+    for workload, per_system in results.items():
+        systems = list(per_system)
+        base_sys = [s for s in systems if "teraheap" not in s and "th" not in s][0]
+        th_sys = [s for s in systems if s not in (base_sys,)][0]
+        for ds in per_system[base_sys]:
+            base = per_system[base_sys][ds]
+            th = per_system[th_sys][ds]
+            if not (base.oom or th.oom):
+                gains[f"{workload}@{ds}GB"] = round(
+                    1 - th.total / base.total, 3
+                )
+    benchmark.extra_info["gains"] = gains
+    print(f"\nTeraHeap improvement by dataset size: {gains}")
+    # TeraHeap is robust across dataset sizes (paper: similar or higher
+    # improvements on the larger datasets).
+    assert gains and all(v > -0.1 for v in gains.values())

@@ -1,0 +1,15 @@
+"""Table 5: H2 metadata size in DRAM per TB vs region size."""
+
+from conftest import run_once
+from repro.experiments import table5
+
+
+def test_table5_metadata_per_tb(benchmark):
+    results = run_once(benchmark, table5.run)
+    print("\n" + table5.format_results(results))
+    benchmark.extra_info["metadata_mb_per_tb"] = {
+        str(k): round(v, 2) for k, v in results.items()
+    }
+    # Paper row check: 1 MB regions -> 417 MB/TB, 256 MB -> ~2 MB/TB.
+    assert round(results[1]) == 417
+    assert results[256] <= 2.0

@@ -1,0 +1,142 @@
+"""Command-line entry point: run paper experiments from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro table5
+    python -m repro barrier
+    python -m repro fig06 --workloads PR LR --scale 0.5
+    python -m repro fig07 --scale 0.5
+    python -m repro fig08 --workloads SVM
+    python -m repro fig09a
+    python -m repro fig09b
+    python -m repro fig10 --workloads PR BFS
+    python -m repro fig11a
+    python -m repro fig11b
+    python -m repro fig12 --panel spark-mo
+    python -m repro fig13a
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    barrier,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table5,
+)
+
+EXPERIMENTS = [
+    "table5",
+    "barrier",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09a",
+    "fig09b",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "fig13a",
+    "fig13b",
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TeraHeap reproduction experiment runner"
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS + ["list"])
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, help="subset of workloads"
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="iteration-count scale"
+    )
+    parser.add_argument(
+        "--panel",
+        default="spark-sd",
+        choices=["spark-sd", "spark-mo", "panthera"],
+        help="figure 12 panel",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("\n".join(EXPERIMENTS))
+        return 0
+    if args.experiment == "table5":
+        print(table5.format_results(table5.run()))
+    elif args.experiment == "barrier":
+        print(barrier.format_result(barrier.run()))
+    elif args.experiment == "fig06":
+        print(
+            fig06.format_results(
+                fig06.run_spark(workloads=args.workloads, scale=args.scale)
+            )
+        )
+        if not args.workloads:
+            print(fig06.format_results(fig06.run_giraph()))
+    elif args.experiment == "fig07":
+        print(fig07.format_results(fig07.run(scale=args.scale)))
+    elif args.experiment == "fig08":
+        print(
+            fig08.format_results(
+                fig08.run(workloads=args.workloads, scale=args.scale)
+            )
+        )
+    elif args.experiment == "fig09a":
+        print(fig09.format_pairs(fig09.run_hint_ablation(args.workloads)))
+    elif args.experiment == "fig09b":
+        print(fig09.format_pairs(fig09.run_low_threshold_ablation()))
+    elif args.experiment == "fig10":
+        print(fig10.format_results(fig10.run(workloads=args.workloads)))
+    elif args.experiment == "fig11a":
+        print(
+            fig11.format_card_sweep(
+                fig11.run_card_segment_sweep(workloads=args.workloads)
+            )
+        )
+    elif args.experiment == "fig11b":
+        print(
+            fig11.format_phases(
+                fig11.run_major_phase_breakdown(workloads=args.workloads)
+            )
+        )
+    elif args.experiment == "fig12":
+        print(
+            fig12.format_pairs(
+                fig12.run_panel(
+                    args.panel, workloads=args.workloads, scale=args.scale
+                )
+            )
+        )
+    elif args.experiment == "fig13a":
+        print(
+            fig13.format_thread_scaling(
+                fig13.run_thread_scaling(scale=args.scale)
+            )
+        )
+    elif args.experiment == "fig13b":
+        results = fig13.run_dataset_scaling(scale=args.scale)
+        for workload, per_system in results.items():
+            for system, per_ds in per_system.items():
+                row = "  ".join(
+                    f"{ds}GB={'OOM' if r.oom else f'{r.total:.0f}s'}"
+                    for ds, r in sorted(per_ds.items())
+                )
+                print(f"{workload} {system}: {row}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Simulated execution clock with the paper's time breakdown.
+
+Every component of the simulator charges its cost here.  The paper reports
+execution time split into four stacks (Figures 6, 8, 12): *other* (mutator
+work, including I/O wait on H2 page faults for TeraHeap), *S/D + I/O*
+(serialization, deserialization and the device traffic they cause),
+*minor GC* and *major GC*.
+
+Charges carry a :class:`Bucket`.  Device models do not know why they are
+being accessed, so they charge to the clock's *current context*: callers
+wrap work in ``with clock.context(Bucket.MAJOR_GC): ...`` and any device
+time lands in that bucket.  Sub-buckets (e.g. major-GC phases) are tracked
+separately for Figure 11(b).
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Tuple
+
+
+class Bucket(enum.Enum):
+    """Top-level execution-time categories, matching the paper's stacks."""
+
+    OTHER = "other"
+    SD_IO = "sd_io"
+    MINOR_GC = "minor_gc"
+    MAJOR_GC = "major_gc"
+
+
+class Clock:
+    """Accumulates simulated seconds per bucket and sub-bucket."""
+
+    def __init__(self) -> None:
+        self._totals: Dict[Bucket, float] = {b: 0.0 for b in Bucket}
+        self._sub: Dict[str, float] = {}
+        self._context: List[Bucket] = [Bucket.OTHER]
+        self._sub_context: List[str] = []
+        # Timeline of (simulated time, event name, duration) tuples used by
+        # the Figure 7 GC-timeline experiment.
+        self.events: List[Tuple[float, str, float]] = []
+
+    # ------------------------------------------------------------------
+    # Context management
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Bucket:
+        """Bucket that untagged charges currently land in."""
+        return self._context[-1]
+
+    @contextmanager
+    def context(self, bucket: Bucket) -> Iterator[None]:
+        """Route untagged charges to ``bucket`` for the duration."""
+        self._context.append(bucket)
+        try:
+            yield
+        finally:
+            self._context.pop()
+
+    @contextmanager
+    def sub_context(self, name: str) -> Iterator[None]:
+        """Additionally attribute charges to a named sub-bucket."""
+        self._sub_context.append(name)
+        try:
+            yield
+        finally:
+            self._sub_context.pop()
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+    def charge(self, seconds: float, bucket: Bucket = None) -> None:
+        """Add ``seconds`` to ``bucket`` (default: current context)."""
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time: {seconds}")
+        target = bucket if bucket is not None else self.current
+        self._totals[target] += seconds
+        if self._sub_context:
+            name = self._sub_context[-1]
+            self._sub[name] = self._sub.get(name, 0.0) + seconds
+
+    def record_event(self, name: str, duration: float) -> None:
+        """Log a timeline event (e.g. one GC cycle) at the current time."""
+        self.events.append((self.now, name, duration))
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Total simulated seconds elapsed."""
+        return sum(self._totals.values())
+
+    def total(self, bucket: Bucket) -> float:
+        return self._totals[bucket]
+
+    def sub_total(self, name: str) -> float:
+        return self._sub.get(name, 0.0)
+
+    def breakdown(self) -> Dict[str, float]:
+        """The paper's four-way split, keyed by bucket value."""
+        return {b.value: self._totals[b] for b in Bucket}
+
+    def sub_breakdown(self) -> Dict[str, float]:
+        return dict(self._sub)
+
+    def snapshot(self) -> "ClockSnapshot":
+        return ClockSnapshot(dict(self._totals), dict(self._sub))
+
+
+class ClockSnapshot:
+    """Immutable copy of clock totals, used to compute deltas."""
+
+    def __init__(self, totals: Dict[Bucket, float], sub: Dict[str, float]):
+        self._totals = totals
+        self._sub = sub
+
+    def delta(self, clock: Clock) -> Dict[str, float]:
+        """Per-bucket seconds elapsed on ``clock`` since this snapshot."""
+        return {
+            b.value: clock.total(b) - self._totals.get(b, 0.0) for b in Bucket
+        }
+
+    def sub_delta(self, clock: Clock, name: str) -> float:
+        return clock.sub_total(name) - self._sub.get(name, 0.0)

@@ -1,0 +1,205 @@
+"""Configuration objects: VM layout, collector choice, and the cost model.
+
+The cost model constants are the calibration surface of the reproduction.
+Absolute values are synthetic; they are chosen so that the *ratios* the
+paper reports hold (GC + S/D dominating baseline runs, device bandwidth
+ceilings, NVM latency penalties).  EXPERIMENTS.md records the resulting
+paper-vs-measured comparison for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import ConfigError
+from .units import GB, KiB, MB, MiB
+
+
+@dataclass
+class CostModel:
+    """Per-operation simulated costs, in seconds / bytes-per-second.
+
+    Values are loosely derived from the paper's testbed (Table 1): a 2.4 GHz
+    Xeon, DDR4 DRAM, a Samsung PM983 NVMe SSD (2.9 GB/s read ceiling,
+    Section 7.1) and Intel Optane DC PMEM (higher latency, lower bandwidth
+    than DRAM, Section 7.5).  Because spatial sizes are scaled by
+    ``units.SCALE``, bandwidths here are scaled identically so that
+    *time ratios* match the paper's.
+    """
+
+    # --- DRAM ----------------------------------------------------------
+    dram_read_bw: float = 10.0 * MiB  # bytes/s at simulation scale
+    dram_write_bw: float = 8.0 * MiB
+    dram_latency: float = 100e-9
+
+    # --- GC work -------------------------------------------------------
+    # A simulated object is coarse: one 8 KiB chunk stands for thousands
+    # of paper-scale records, so per-object GC costs are scaled up by the
+    # same coarsening factor (visiting one chunk's worth of record objects
+    # at ~50-100 ns each).
+    #: marking/scanning one simulated object during traversal
+    gc_visit_cost: float = 220e-6
+    #: following one reference during traversal
+    gc_ref_cost: float = 45e-6
+    #: copying/compacting live data (DRAM-resident); sliding compaction
+    #: only pays this for objects that actually move
+    gc_copy_bw: float = 0.8 * MiB
+    #: examining one card-table entry
+    card_check_cost: float = 0.5e-6
+    #: fixed safepoint/bring-up cost of any GC pause
+    gc_pause_overhead: float = 2e-3
+    #: summarising/installing one object's forwarding pointer (precompact)
+    gc_forward_cost: float = 60e-6
+
+    # --- Serialization (Kryo-calibrated) --------------------------------
+    serialize_obj_cost: float = 0.5e-3
+    serialize_bw: float = 1.2 * MiB
+    deserialize_obj_cost: float = 0.8e-3
+    deserialize_bw: float = 0.9 * MiB
+    #: fraction of (de)serialized bytes materialised as temporary objects,
+    #: pressuring the young generation (Section 2, "Object Serialization")
+    sd_temp_object_ratio: float = 0.35
+
+    # --- Mutator work ---------------------------------------------------
+    #: executing application logic over one chunk-granular record batch
+    mutator_op_cost: float = 80e-6
+    #: allocating one simulated object (a TLAB's worth of record allocations)
+    alloc_cost: float = 0.2e-3
+    #: post-write barrier (card mark); the paper measures <=3% overhead
+    barrier_cost: float = 1e-6
+    #: extra reference-range check TeraHeap adds to the barrier (Section 4)
+    teraheap_barrier_extra: float = 0.25e-6
+
+
+@dataclass
+class TeraHeapConfig:
+    """TeraHeap (H2) parameters — Section 3 of the paper."""
+
+    enabled: bool = False
+    h2_size: int = 1024 * GB
+    region_size: int = 16 * MB
+    #: H2 card segment size (Section 3.4 / Figure 11a sweep)
+    card_segment_size: int = 8 * KiB
+    #: stripe size; the paper sets stripe size == region size so objects
+    #: never span stripes and boundary cards never stay dirty (Section 3.4)
+    stripe_size: Optional[int] = None
+    #: live-occupancy fraction of H1 above which marked objects are moved
+    #: without waiting for h2_move() (Section 3.2)
+    high_threshold: float = 0.85
+    #: target H1 occupancy when the high threshold fires; ``None`` disables
+    #: the low-threshold mechanism (Figure 9b ablation)
+    low_threshold: Optional[float] = 0.50
+    #: honour h2_move() transfer hints (Figure 9a ablation)
+    use_move_hint: bool = True
+    #: adapt the high/low thresholds to observed pressure instead of the
+    #: static hand-tuned values — the paper's stated future work (§7.2)
+    adaptive_thresholds: bool = False
+    #: segregate large objects into their own regions per label — the
+    #: paper's stated future work on size-aware H2 placement (§7.3), which
+    #: stops large dead arrays pinning regions full of small live objects
+    size_aware_placement: bool = False
+    #: cross-region tracking policy: per-region dependency lists with
+    #: direction ("deps", the paper's design) or undirected union-find
+    #: region groups ("groups", the Section 3.3 alternative)
+    region_policy: str = "deps"
+    #: promotion buffer used to batch small-object writes (Section 3.2).
+    #: Expressed in real bytes — one buffer comfortably spans a region.
+    promotion_buffer_size: int = 2 * MiB
+    #: map H2 with huge pages (HugeMap; used for Spark ML workloads, §6)
+    huge_pages: bool = False
+    #: use the four-state card table (clean/dirty/youngGen/oldGen); False
+    #: degrades to a two-state table that rescans oldGen-only segments on
+    #: every minor GC (Section 3.4 ablation)
+    four_state_cards: bool = True
+    #: align objects to stripes so boundary cards never stay dirty; False
+    #: reproduces the vanilla JVM's sticky boundary cards (Section 3.4)
+    stripe_aligned: bool = True
+
+    def __post_init__(self) -> None:
+        if self.stripe_size is None:
+            self.stripe_size = self.region_size
+        if self.region_policy not in ("deps", "groups"):
+            raise ConfigError(f"unknown region policy {self.region_policy!r}")
+        if not 0.0 < self.high_threshold <= 1.0:
+            raise ConfigError("high_threshold must be in (0, 1]")
+        if self.low_threshold is not None and not (
+            0.0 < self.low_threshold < self.high_threshold
+        ):
+            raise ConfigError("low_threshold must be below high_threshold")
+        if self.region_size <= 0 or self.h2_size % self.region_size:
+            raise ConfigError("h2_size must be a multiple of region_size")
+
+
+@dataclass
+class G1Config:
+    """Garbage-First collector parameters (Figure 8 baseline)."""
+
+    region_size: int = 32 * MB
+    #: target fraction of the heap collected per mixed collection
+    mixed_collection_fraction: float = 0.25
+
+
+@dataclass
+class PantheraConfig:
+    """Panthera baseline layout (Section 7.5): young gen entirely in DRAM,
+    old gen split between DRAM and NVM."""
+
+    dram_old_size: int = 6 * GB
+    nvm_old_size: int = 48 * GB
+    #: objects larger than this are pretenured straight to the NVM old gen
+    pretenure_threshold: int = 256 * KiB
+
+
+@dataclass
+class VMConfig:
+    """Top-level JVM configuration."""
+
+    heap_size: int = 64 * GB
+    #: fraction of the heap given to the young generation (PS default ~1/3)
+    young_fraction: float = 1.0 / 3.0
+    #: eden : survivor ratio within the young generation (PS default 8:1:1)
+    survivor_fraction: float = 0.1
+    #: minor-GC survivals before promotion to the old generation
+    tenuring_threshold: int = 2
+    #: ps | ps11 | g1 | panthera | memmode (teraheap rides on ps)
+    collector: str = "ps"
+    gc_threads: int = 16
+    mutator_threads: int = 8
+    #: H1 card segment size (vanilla JVM uses 512 B cards)
+    card_segment_size: int = 512
+    teraheap: TeraHeapConfig = field(default_factory=TeraHeapConfig)
+    g1: G1Config = field(default_factory=G1Config)
+    panthera: Optional[PantheraConfig] = None
+    cost: CostModel = field(default_factory=CostModel)
+    #: DRAM available to the OS page cache (the paper's DR2)
+    page_cache_size: int = 16 * GB
+
+    def __post_init__(self) -> None:
+        if self.heap_size <= 0:
+            raise ConfigError("heap_size must be positive")
+        if not 0.0 < self.young_fraction < 1.0:
+            raise ConfigError("young_fraction must be in (0, 1)")
+        if self.collector not in ("ps", "ps11", "g1", "panthera", "memmode"):
+            raise ConfigError(f"unknown collector {self.collector!r}")
+        if self.teraheap.enabled and self.collector not in ("ps", "ps11"):
+            raise ConfigError(
+                "TeraHeap extends the Parallel Scavenge collector; "
+                f"collector={self.collector!r} is not supported"
+            )
+
+    @property
+    def young_size(self) -> int:
+        return int(self.heap_size * self.young_fraction)
+
+    @property
+    def old_size(self) -> int:
+        return self.heap_size - self.young_size
+
+    @property
+    def eden_size(self) -> int:
+        return self.young_size - 2 * self.survivor_size
+
+    @property
+    def survivor_size(self) -> int:
+        return int(self.young_size * self.survivor_fraction)

@@ -1,0 +1,27 @@
+"""Storage and memory device models.
+
+The paper evaluates TeraHeap with H2 backed by an NVMe SSD (block
+addressable, page-granularity transfers) and by Intel Optane NVM (byte
+addressable, higher latency than DRAM).  This package models both, plus
+DRAM, a kernel page cache, and memory-mapped file regions with page faults
+and optional huge pages (HugeMap, Section 6).
+"""
+
+from .base import AccessPattern, Device, DeviceTraffic
+from .dram import DRAM
+from .mmap import MappedFile
+from .nvm import NVM, NVMMode
+from .nvme import NVMeSSD
+from .page_cache import PageCache
+
+__all__ = [
+    "AccessPattern",
+    "Device",
+    "DeviceTraffic",
+    "DRAM",
+    "MappedFile",
+    "NVM",
+    "NVMMode",
+    "NVMeSSD",
+    "PageCache",
+]

@@ -1,0 +1,118 @@
+"""Memory-mapped file regions with page faults and optional huge pages.
+
+TeraHeap maps H2 over a file on the storage device (file-backed ``mmap``)
+so the OS virtual-memory system performs reference translation and the JVM
+needs no custom lookup (Section 3.1).  Accesses to unmapped pages fault and
+pull pages through the kernel page cache.  For Spark ML workloads the paper
+uses HugeMap to enable huge pages on the file mapping, reducing fault
+frequency for streaming access (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import SegmentationFault
+from .base import AccessPattern, Device
+from .page_cache import PageCache
+
+#: base-page size of the mapping (real bytes at simulation scale)
+BASE_PAGE = 4096
+#: "huge" page size.  Real HugeMap pages are 2 MiB (512x); at simulation
+#: scale we keep a 64x ratio so huge pages still cover many objects without
+#: making the page cache trivially coarse.
+HUGE_PAGE = 64 * BASE_PAGE
+
+
+class MappedFile:
+    """A file-backed mapping: an address range over a device + page cache."""
+
+    def __init__(
+        self,
+        device: Device,
+        base: int,
+        size: int,
+        cache: PageCache,
+        huge_pages: bool = False,
+    ):
+        if size <= 0:
+            raise ValueError("mapping size must be positive")
+        self.device = device
+        self.base = base
+        self.size = size
+        self.cache = cache
+        self.page_size = HUGE_PAGE if huge_pages else BASE_PAGE
+        self.huge_pages = huge_pages
+        self.page_faults = 0
+        # Scale the cache's page granularity to the mapping's.
+        if cache.page_size != self.page_size:
+            cache.page_size = self.page_size
+            cache.max_pages = max(1, cache.max_pages * BASE_PAGE // self.page_size)
+
+    # ------------------------------------------------------------------
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.size
+
+    def _pages_for(self, address: int, nbytes: int) -> range:
+        if not self.contains(address) or not self.contains(
+            address + max(nbytes, 1) - 1
+        ):
+            raise SegmentationFault(
+                f"access [{address:#x}, +{nbytes}) outside mapping "
+                f"[{self.base:#x}, +{self.size})"
+            )
+        first = (address - self.base) // self.page_size
+        last = (address - self.base + max(nbytes, 1) - 1) // self.page_size
+        return range(first, last + 1)
+
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        address: int,
+        nbytes: int,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> Tuple[int, int]:
+        """Read ``nbytes`` at ``address``; faults fill from the device."""
+        pages = self._pages_for(address, nbytes)
+        hits, misses = self.cache.access(pages, write=False, pattern=pattern)
+        self.page_faults += misses
+        return hits, misses
+
+    def store(
+        self,
+        address: int,
+        nbytes: int,
+        pattern: AccessPattern = AccessPattern.RANDOM,
+    ) -> Tuple[int, int]:
+        """Write ``nbytes`` at ``address`` through the fault path.
+
+        A store to an uncached page is a read-modify-write: the kernel
+        faults the page in before the store dirties it.
+        """
+        pages = self._pages_for(address, nbytes)
+        hits, misses = self.cache.access(pages, write=True, pattern=pattern)
+        self.page_faults += misses
+        return hits, misses
+
+    def write_explicit(self, address: int, nbytes: int) -> int:
+        """Batched explicit write bypassing the fault path (promotion I/O)."""
+        pages = self._pages_for(address, nbytes)
+        return self.cache.write_through(pages)
+
+    def write_explicit_many(self, spans) -> int:
+        """Write several (address, nbytes) spans as one coalesced batch.
+
+        Spans that share pages (e.g. several regions inside one huge page)
+        are written once — the behaviour of a single large flush.
+        """
+        pages = set()
+        for address, nbytes in spans:
+            pages.update(self._pages_for(address, nbytes))
+        if not pages:
+            return 0
+        return self.cache.write_through(sorted(pages))
+
+    def discard(self, address: int, nbytes: int) -> None:
+        """Drop a range without writeback (freeing dead H2 regions)."""
+        pages = self._pages_for(address, nbytes)
+        self.cache.invalidate(pages)

@@ -1,0 +1,139 @@
+"""Kernel page cache model: LRU cache of device pages in DR2 DRAM.
+
+The paper's TeraHeap configurations reserve part of DRAM (DR2) for the
+kernel page cache that backs H2's memory mapping (Section 6).  Workloads
+with locality hit the cache; streaming workloads (Spark ML, Section 7.1)
+miss continuously and run into the device-bandwidth ceiling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Tuple
+
+from .base import AccessPattern, Device
+
+
+class PageCache:
+    """LRU page cache in front of a block device.
+
+    Pages are identified by integer page numbers.  Dirty pages are written
+    back to the device on eviction (or via :meth:`flush`), modelling the
+    kernel writeback path that turns scattered stores into device write
+    traffic.
+    """
+
+    def __init__(self, device: Device, capacity: int, page_size: int = 4096):
+        if capacity < page_size:
+            raise ValueError("page cache smaller than one page")
+        self.device = device
+        self.page_size = page_size
+        self.max_pages = capacity // page_size
+        #: page number -> dirty flag, in LRU order (oldest first)
+        self._pages: "OrderedDict[int, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._pages
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    def _insert(self, page: int, dirty: bool) -> None:
+        self._pages[page] = dirty
+        self._pages.move_to_end(page)
+        while len(self._pages) > self.max_pages:
+            evicted, was_dirty = self._pages.popitem(last=False)
+            self.evictions += 1
+            if was_dirty:
+                self.writebacks += 1
+                self.device.write(self.page_size, AccessPattern.RANDOM)
+
+    def access(
+        self,
+        pages: Iterable[int],
+        write: bool = False,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> Tuple[int, int]:
+        """Touch ``pages``; fetch misses from the device.
+
+        Returns ``(hits, misses)``.  A write marks pages dirty; the write
+        reaches the device later via writeback, not synchronously — which
+        is why batched sequential writes (promotion buffers) are so much
+        cheaper than random read-modify-writes.
+        """
+        hits = misses = 0
+        miss_pages = []
+        for page in pages:
+            if page in self._pages:
+                hits += 1
+                self._pages.move_to_end(page)
+                if write:
+                    self._pages[page] = True
+            else:
+                misses += 1
+                miss_pages.append(page)
+        if miss_pages:
+            # One request per contiguous run of missing pages.
+            runs = _count_runs(miss_pages)
+            self.device.read(
+                len(miss_pages) * self.page_size, pattern, requests=runs
+            )
+            for page in miss_pages:
+                self._insert(page, dirty=write)
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
+    def write_through(self, pages: Iterable[int]) -> int:
+        """Write pages straight to the device (explicit async I/O path).
+
+        TeraHeap's promotion buffers bypass the fault path with explicit
+        batched writes (Section 3.2); the pages also land in the cache
+        clean, so an immediate read back hits DRAM.
+        """
+        pages = list(pages)
+        if not pages:
+            return 0
+        runs = _count_runs(pages)
+        self.device.write(len(pages) * self.page_size, requests=runs)
+        for page in pages:
+            self._insert(page, dirty=False)
+        return len(pages)
+
+    def invalidate(self, pages: Iterable[int]) -> None:
+        """Drop pages without writeback (freed H2 regions)."""
+        for page in pages:
+            self._pages.pop(page, None)
+
+    def flush(self) -> int:
+        """Write back all dirty pages; returns the number written."""
+        dirty = [p for p, d in self._pages.items() if d]
+        if dirty:
+            runs = _count_runs(sorted(dirty))
+            self.device.write(len(dirty) * self.page_size, requests=runs)
+            for page in dirty:
+                self._pages[page] = False
+            self.writebacks += len(dirty)
+        return len(dirty)
+
+
+def _count_runs(pages) -> int:
+    """Number of maximal contiguous runs in a sorted page list."""
+    runs = 0
+    prev = None
+    for page in pages:
+        if prev is None or page != prev + 1:
+            runs += 1
+        prev = page
+    return max(runs, 1)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the TeraHeap reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all simulator errors."""
+
+
+class OutOfMemoryError(ReproError):
+    """Raised when the managed heap cannot satisfy an allocation.
+
+    Mirrors ``java.lang.OutOfMemoryError``: the collector ran and the
+    requested allocation still does not fit.  Experiment drivers catch this
+    to render the paper's "OOM" bars.
+    """
+
+    def __init__(self, message: str, requested: int = 0, available: int = 0):
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+
+
+class SegmentationFault(ReproError):
+    """Raised on access to an address outside any mapped space."""
+
+
+class InvalidHintError(ReproError):
+    """Raised on misuse of the TeraHeap hint interface."""
+
+
+class ConfigError(ReproError):
+    """Raised when a VM or device configuration is inconsistent."""
+
+
+class SerializationError(ReproError):
+    """Raised when an object graph cannot be serialized.
+
+    Java refuses to serialize objects that are not self-contained
+    serializable entities; the simulator models that with this error.
+    """

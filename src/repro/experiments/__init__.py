@@ -1,0 +1,11 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Every driver exposes ``run(scale=1.0)`` returning a structured result the
+benchmarks print, with ``scale`` shrinking iteration counts for quick
+runs.  ``configs`` encodes Tables 1-4; ``runner`` builds configured VMs
+and executes workloads under each system.
+"""
+
+from . import configs, runner
+
+__all__ = ["configs", "runner"]

@@ -1,0 +1,131 @@
+"""Artifact-style report generation (the paper's Appendix A.6 workflow).
+
+The original artifact runs every experiment, collects CSVs, and renders a
+side-by-side report.  This module regenerates every figure/table at a
+chosen scale and emits one markdown report plus per-experiment CSVs.
+
+Run:  python -m repro.experiments.report [outdir] [scale]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List
+
+from ..metrics import trace
+from . import (
+    barrier,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table5,
+)
+
+
+def _section(lines: List[str], title: str, body: str) -> None:
+    lines.append(f"\n## {title}\n")
+    lines.append("```")
+    lines.append(body.rstrip())
+    lines.append("```")
+
+
+def generate(outdir: str, scale: float = 0.4) -> str:
+    """Run everything; write `report.md` + CSVs under ``outdir``."""
+    os.makedirs(outdir, exist_ok=True)
+    lines: List[str] = [
+        "# TeraHeap reproduction report",
+        "",
+        f"Generated at iteration scale {scale}. Absolute simulated seconds",
+        "are synthetic; compare shapes and ratios against the paper.",
+    ]
+
+    _section(lines, "Table 5 — H2 metadata per TB",
+             table5.format_results(table5.run()))
+
+    _section(lines, "Section 4 — barrier overhead (DaCapo stand-in)",
+             barrier.format_result(barrier.run(operations=5000)))
+
+    spark6 = fig06.run_spark(scale=scale)
+    _section(lines, "Figure 6 — Spark under fixed DRAM",
+             fig06.format_results(spark6))
+    giraph6 = fig06.run_giraph()
+    _section(lines, "Figure 6 — Giraph under fixed DRAM",
+             fig06.format_results(giraph6))
+
+    timelines = fig07.run(scale=scale)
+    _section(lines, "Figure 7 — GC timeline (Spark PR)",
+             fig07.format_results(timelines))
+    for t in timelines:
+        trace.write_csv(
+            os.path.join(outdir, f"fig07_{t.system}.csv"),
+            trace.gc_timeline_csv(t.cycles),
+        )
+
+    _section(lines, "Figure 8 — PS vs G1 vs TeraHeap",
+             fig08.format_results(fig08.run(scale=scale)))
+
+    _section(lines, "Figure 9a — transfer hint",
+             fig09.format_pairs(fig09.run_hint_ablation()))
+    _section(lines, "Figure 9b — low threshold",
+             fig09.format_pairs(fig09.run_low_threshold_ablation()))
+
+    cdfs = fig10.run()
+    _section(lines, "Figure 10 — H2 region liveness",
+             fig10.format_results(cdfs))
+    for name, series in cdfs.items():
+        for cdf in series:
+            trace.write_csv(
+                os.path.join(
+                    outdir, f"fig10_{name}_{cdf.region_size_mb}MB.csv"
+                ),
+                trace.region_liveness_csv(cdf.liveness),
+            )
+
+    _section(
+        lines,
+        "Figure 11a — H2 minor GC vs card segment size",
+        fig11.format_card_sweep(fig11.run_card_segment_sweep()),
+    )
+    _section(
+        lines,
+        "Figure 11b — major GC phases (OOC vs TH)",
+        fig11.format_phases(fig11.run_major_phase_breakdown()),
+    )
+
+    for panel in ("spark-sd", "spark-mo", "panthera"):
+        _section(
+            lines,
+            f"Figure 12 — {panel} vs TeraHeap (NVM)",
+            fig12.format_pairs(fig12.run_panel(panel, scale=scale)),
+        )
+
+    _section(
+        lines,
+        "Figure 13a — thread scaling",
+        fig13.format_thread_scaling(fig13.run_thread_scaling(scale=scale)),
+    )
+
+    report = "\n".join(lines) + "\n"
+    path = os.path.join(outdir, "report.md")
+    with open(path, "w") as f:
+        f.write(report)
+    return path
+
+
+def main(argv=None) -> int:  # pragma: no cover - CLI
+    argv = argv if argv is not None else sys.argv[1:]
+    outdir = argv[0] if argv else "report"
+    scale = float(argv[1]) if len(argv) > 1 else 0.4
+    path = generate(outdir, scale)
+    print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

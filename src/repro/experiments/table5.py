@@ -1,0 +1,36 @@
+"""Table 5: H2 metadata size in DRAM per TB of H2 space.
+
+Purely analytic: metadata is the per-region Figure 2 structures times the
+region count, so doubling the region size halves it.  Paper values:
+417 MB at 1 MB regions down to 2 MB at 256 MB regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..teraheap.regions import metadata_bytes_per_tb
+from ..units import MiB
+
+#: the paper's Table 5 region sizes (real MB) and metadata MB values
+PAPER_TABLE5 = {1: 417, 2: 209, 4: 104, 8: 52, 16: 26, 32: 13, 64: 7, 128: 3, 256: 2}
+
+
+def run(region_sizes_mb: List[int] = None) -> Dict[int, float]:
+    """Metadata MB per TB of H2 for each region size."""
+    sizes = region_sizes_mb or list(PAPER_TABLE5)
+    return {
+        size: metadata_bytes_per_tb(size * MiB) / MiB for size in sizes
+    }
+
+
+def format_results(results: Dict[int, float]) -> str:
+    lines = ["Region (MB)  Metadata (MB/TB)  Paper (MB/TB)"]
+    for size, meta in results.items():
+        paper = PAPER_TABLE5.get(size, float("nan"))
+        lines.append(f"{size:>10d}  {meta:>16.1f}  {paper:>13.1f}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_results(run()))

@@ -1,0 +1,1 @@
+"""Big data frameworks built on the simulated JVM: mini-Spark and mini-Giraph."""

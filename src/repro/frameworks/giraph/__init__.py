@@ -1,0 +1,38 @@
+"""Mini-Giraph: BSP vertex-centric graph processing (Section 5, Figure 5).
+
+Models the Giraph behaviours the paper depends on:
+
+- graph loading in an *input superstep*: a partition store of vertices,
+  each with a serialized byte-array of out-edges;
+- per-superstep *incoming* (immutable) and *current* (mutable) message
+  stores, with messages becoming immutable at the superstep barrier;
+- an out-of-core (OOC) scheduler that offloads edges/messages/vertices to
+  the storage device under heap pressure (the Giraph-OOC baseline);
+- the TeraHeap integration: out-edge arrays tagged at load and moved
+  after the input superstep; each superstep's message store tagged as it
+  is produced and moved at the start of the next superstep.  Vertices are
+  never tagged — they are updated every superstep.
+"""
+
+from .conf import GiraphConf, GiraphMode
+from .job import GiraphJob
+from .programs import (
+    BFSProgram,
+    CDLPProgram,
+    PageRankProgram,
+    SSSPProgram,
+    VertexProgram,
+    WCCProgram,
+)
+
+__all__ = [
+    "BFSProgram",
+    "CDLPProgram",
+    "GiraphConf",
+    "GiraphJob",
+    "GiraphMode",
+    "PageRankProgram",
+    "SSSPProgram",
+    "VertexProgram",
+    "WCCProgram",
+]

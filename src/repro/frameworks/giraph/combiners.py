@@ -1,0 +1,93 @@
+"""Message combiners and master aggregators.
+
+Giraph supports *message combiners* — associative reductions applied to a
+vertex's incoming messages on the sending side — which collapse each
+target's message batch to a single value and shrink the message stores
+dramatically.  The paper's workloads all admit one (PR sums
+contributions; WCC/CDLP/BFS/SSSP take minima).  Combiners are optional
+in `GiraphConf` because the paper's evaluation ran without them (its
+message stores are a large fraction of the heap); enabling them is a
+realistic what-if that shrinks H2 message regions.
+
+*Aggregators* are per-superstep global values (e.g. the dangling-rank sum
+in PageRank) maintained by the master between barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class MessageCombiner:
+    """An associative, commutative reduction over messages to one vertex."""
+
+    name: str
+    #: combined bytes per target as a function of (messages, bytes_each)
+    combined_bytes: Callable[[int, int], int]
+
+
+def _single_value(count: int, bytes_each: int) -> int:
+    return bytes_each if count else 0
+
+
+#: built-in combiners, keyed by GiraphConf.combiner
+COMBINERS: Dict[str, MessageCombiner] = {
+    # sum/min/max all collapse a batch to one value of the message width
+    "sum": MessageCombiner("sum", _single_value),
+    "min": MessageCombiner("min", _single_value),
+    "max": MessageCombiner("max", _single_value),
+}
+
+
+def resolve_combiner(name: Optional[str]) -> Optional[MessageCombiner]:
+    if name is None:
+        return None
+    try:
+        return COMBINERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown combiner {name!r}; available: {sorted(COMBINERS)}"
+        ) from None
+
+
+class AggregatorRegistry:
+    """Master-side global aggregates, one value per name per superstep.
+
+    Values live on the master's heap as small objects; the previous
+    superstep's aggregate becomes read-only once the barrier passes, the
+    current one is mutable — miniature versions of the message-store
+    lifecycle.
+    """
+
+    #: simulated size of one aggregate value object
+    VALUE_BYTES = 64
+
+    def __init__(self, vm, master_root) -> None:
+        self.vm = vm
+        self.master_root = master_root
+        self._current: Dict[str, float] = {}
+        self._previous: Dict[str, float] = {}
+        self._current_objs: Dict[str, object] = {}
+
+    def aggregate(self, name: str, value: float) -> None:
+        """Accumulate into the current superstep's value."""
+        if name not in self._current:
+            self._current[name] = 0.0
+            obj = self.vm.allocate(self.VALUE_BYTES, name=f"agg-{name}")
+            self.vm.write_ref(self.master_root, obj)
+            self._current_objs[name] = obj
+        self._current[name] += value
+
+    def get(self, name: str) -> float:
+        """The previous superstep's aggregated value (BSP semantics)."""
+        return self._previous.get(name, 0.0)
+
+    def barrier(self) -> None:
+        """Superstep boundary: current values become readable, old ones die."""
+        for obj in list(self._current_objs.values()):
+            self.vm.write_ref(self.master_root, None, remove=obj)
+        self._previous = self._current
+        self._current = {}
+        self._current_objs = {}

@@ -1,0 +1,40 @@
+"""Giraph worker configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ...devices.base import Device
+
+
+class GiraphMode(enum.Enum):
+    #: Giraph-OOC: heap in DRAM, overflow offloaded to the device
+    OOC = "ooc"
+    #: edges and messages tagged for H2
+    TERAHEAP = "teraheap"
+
+
+@dataclass
+class GiraphConf:
+    """Worker-level knobs (Table 4 configurations)."""
+
+    mode: GiraphMode = GiraphMode.OOC
+    #: device backing the out-of-core store (OOC mode)
+    device: Optional[Device] = None
+    num_partitions: int = 8
+    #: heap-occupancy fraction at which the OOC scheduler offloads
+    ooc_threshold: float = 0.72
+    #: simulated bytes per individual message (before per-target batching)
+    bytes_per_message: int = 96
+    #: mutator operations per active vertex per superstep.  One simulated
+    #: vertex stands for thousands of paper-scale vertices (the graph is
+    #: coarsened like every other size), so this carries the coarsening.
+    ops_per_vertex: int = 800
+    #: issue h2_move() hints (Figure 9a ablation switches this off)
+    use_move_hint: bool = True
+    #: optional message combiner ("sum" | "min" | "max"): collapses each
+    #: target's batch to one value, shrinking the message stores.  None
+    #: matches the paper's evaluation configuration.
+    combiner: Optional[str] = None

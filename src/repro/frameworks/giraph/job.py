@@ -1,0 +1,397 @@
+"""The Giraph worker: graph loading, BSP supersteps, message stores.
+
+Execution follows Figure 5:
+
+1. *input superstep* — vertices and their out-edge byte arrays are loaded
+   into the partition store; under TeraHeap each edge array is tagged
+   (``h2_tag_root``) and the move is advised at the end of loading;
+2. each superstep consumes the *incoming* message store (immutable) and
+   fills the *current* one (mutable); the current store's root is tagged
+   as it is created and its move advised at the start of the *next*
+   superstep, once the barrier has made it immutable;
+3. consumed message stores are dropped at the barrier — under TeraHeap
+   their H2 regions die and are reclaimed in bulk at the next major GC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...heap.object_model import HeapObject
+from ...units import KiB
+from ...workloads.generators import GraphDataset
+from ...runtime import JavaVM
+from .conf import GiraphConf, GiraphMode
+from .ooc import OOCScheduler
+from .programs import VertexProgram
+
+#: byte arrays above this are split across several heap objects, as
+#: Giraph pages very large edge lists (also keeps every object smaller
+#: than an H2 region)
+MAX_ARRAY_OBJECT = 12 * KiB
+
+#: label of the out-edge arrays' object group
+EDGES_LABEL = "edges-input"
+
+
+class GiraphJob:
+    """One Giraph worker executing a vertex program."""
+
+    def __init__(self, vm: JavaVM, conf: GiraphConf, graph: GraphDataset):
+        self.vm = vm
+        self.conf = conf
+        self.graph = graph
+        #: pins the partition store and the live message stores
+        self.runtime_root = vm.allocate(512, name="giraph-runtime")
+        vm.roots.add(self.runtime_root)
+        n = graph.num_vertices
+        self.vertex_objs: List[Optional[HeapObject]] = [None] * n
+        self.edge_roots: List[Optional[HeapObject]] = [None] * n
+        #: edge arrays are immutable after loading: once written to the
+        #: out-of-core store they never need re-writing
+        self.edges_on_disk: List[bool] = [False] * n
+        #: partition currently being computed (OOC eviction skips it)
+        self.current_partition: Optional[int] = None
+        self._edge_sizes = [graph.edge_array_size(v) for v in range(n)]
+        self.partition_roots: List[HeapObject] = []
+        self.incoming_root: Optional[HeapObject] = None
+        self.incoming_msgs: Dict[int, HeapObject] = {}
+        #: message sizes for incoming messages offloaded by the OOC
+        #: scheduler; reads pay a device round trip
+        self.offloaded_msgs: Dict[int, int] = {}
+        self.bytes_per_message = max(16, graph.bytes_per_edge // 5)
+        from .combiners import AggregatorRegistry, resolve_combiner
+
+        self.combiner = resolve_combiner(conf.combiner)
+        self.aggregators = AggregatorRegistry(vm, self.runtime_root)
+        self.ooc = (
+            OOCScheduler(self, conf.ooc_threshold)
+            if conf.mode is GiraphMode.OOC
+            else None
+        )
+        self.supersteps_run = 0
+        self.messages_sent = 0
+        #: cumulative bytes of message-store objects allocated
+        self.message_store_bytes = 0
+
+    # ==================================================================
+    # Graph loading (input superstep)
+    # ==================================================================
+    def load_graph(self) -> None:
+        vm = self.vm
+        n = self.graph.num_vertices
+        parts = self.conf.num_partitions
+        # The partition store exists before loading begins; every vertex is
+        # inserted (and thereby rooted) as soon as it is read.
+        for pid in range(parts):
+            root = vm.allocate(
+                max(64, 8 * (n // parts + 1)), name=f"partition-{pid}"
+            )
+            vm.write_ref(self.runtime_root, root)
+            self.partition_roots.append(root)
+        for v in range(n):
+            with vm.roots.frame() as frame:
+                edges = self._allocate_array(
+                    self._edge_sizes[v], f"edges-{v}", frame
+                )
+                vertex = vm.allocate(
+                    self.graph.vertex_value_size,
+                    refs=[edges],
+                    name=f"vertex-{v}",
+                )
+                vm.write_ref(self.partition_roots[v % parts], vertex)
+                self.vertex_objs[v] = vertex
+                self.edge_roots[v] = edges
+                if self.conf.mode is GiraphMode.TERAHEAP:
+                    # Mark the out-edges map as a root key-object (step 1
+                    # in Figure 5).
+                    vm.h2_tag_root(edges, EDGES_LABEL)
+            vm.compute(4)
+            # Input splits deliver a vertex's edges in pieces: loading
+            # keeps appending fragments to recently loaded vertices'
+            # edge maps.  If an aggressive pressure transfer has already
+            # pushed those maps to H2, every append becomes a device
+            # read-modify-write — the traffic the low threshold avoids
+            # by holding recently marked objects back (Section 7.2).
+            if v >= 64 and v % 2 == 0:
+                recent = v - 1 - (v % 29)
+                target = self.edge_roots[recent]
+                if target is not None and target.space.value != "freed":
+                    with vm.roots.frame() as frame:
+                        fragment = frame.push(
+                            vm.allocate(64, name=f"edge-frag-{v}")
+                        )
+                        vm.write_ref(target, fragment)
+            if self.ooc is not None and v % 32 == 31:
+                # The OOC scheduler watches pressure during loading too —
+                # without it, graphs larger than the heap cannot load.
+                self.ooc.maybe_offload()
+        if self.conf.mode is GiraphMode.TERAHEAP and self.conf.use_move_hint:
+            # Step 2 in Figure 5: edges move at the next major GC.
+            vm.h2_move(EDGES_LABEL)
+        if self.ooc is not None:
+            self.ooc.maybe_offload()
+
+    def _allocate_array(self, nbytes: int, name: str, frame) -> HeapObject:
+        """Allocate a byte array, split into <= MAX_ARRAY_OBJECT pieces."""
+        vm = self.vm
+        if nbytes <= MAX_ARRAY_OBJECT:
+            return frame.push(vm.allocate(max(nbytes, 64), name=name))
+        pieces = []
+        remaining = nbytes
+        i = 0
+        while remaining > 0:
+            piece = min(MAX_ARRAY_OBJECT, remaining)
+            pieces.append(
+                frame.push(vm.allocate(max(piece, 64), name=f"{name}.{i}"))
+            )
+            remaining -= piece
+            i += 1
+        return frame.push(
+            vm.allocate(max(64, 8 * len(pieces)), refs=pieces, name=name)
+        )
+
+    # ==================================================================
+    # Accessors used by the OOC scheduler
+    # ==================================================================
+    def partition_vertices(self, pid: int) -> List[int]:
+        return list(
+            range(pid, self.graph.num_vertices, self.conf.num_partitions)
+        )
+
+    def offload_edges(self, v: int) -> "tuple[int, int]":
+        """Drop vertex ``v``'s edge array from the heap.
+
+        Returns ``(bytes_freed, bytes_to_write)`` — immutable edge arrays
+        already resident in the out-of-core store need no device write.
+        """
+        edges = self.edge_roots[v]
+        vertex = self.vertex_objs[v]
+        if edges is None or vertex is None or edges.space.value == "freed":
+            return 0, 0
+        size = self._edge_sizes[v]
+        self.vm.write_ref(vertex, None, remove=edges)
+        self.edge_roots[v] = None
+        to_write = 0 if self.edges_on_disk[v] else size
+        self.edges_on_disk[v] = True
+        return size, to_write
+
+    def offload_vertices(self, pid: int) -> "tuple[int, int]":
+        """Drop a partition's vertex objects (and their edge arrays).
+
+        Giraph's OOC scheduler offloads whole vertex partitions (Table 2);
+        vertex values are mutable, so they must be rewritten every time.
+        Returns ``(bytes_freed, bytes_to_write)``.
+        """
+        freed = 0
+        to_write = 0
+        root = self.partition_roots[pid]
+        for v in self.partition_vertices(pid):
+            vertex = self.vertex_objs[v]
+            if vertex is None or vertex.space.value == "freed":
+                continue
+            edge_freed, edge_write = self.offload_edges(v)
+            freed += edge_freed
+            to_write += edge_write
+            self.vm.write_ref(root, None, remove=vertex)
+            self.vertex_objs[v] = None
+            freed += self.graph.vertex_value_size
+            to_write += self.graph.vertex_value_size  # values are mutable
+        return freed, to_write
+
+    def _vertex_for_compute(self, v: int) -> HeapObject:
+        """The vertex object, reloading its partition entry if offloaded."""
+        vertex = self.vertex_objs[v]
+        if vertex is not None and vertex.space.value != "freed":
+            return vertex
+        if self.ooc is not None:
+            self.ooc.maybe_offload()
+            self.ooc.reload(self.graph.vertex_value_size, key=("vtx", v))
+        vertex = self.vm.allocate(
+            self.graph.vertex_value_size, name=f"vertex-{v}-reload"
+        )
+        self.vm.write_ref(
+            self.partition_roots[v % self.conf.num_partitions], vertex
+        )
+        self.vertex_objs[v] = vertex
+        return vertex
+
+    def offload_incoming_messages(self) -> int:
+        """Move the (immutable) incoming message store off-heap."""
+        if self.incoming_root is None or not self.incoming_msgs:
+            return 0
+        freed = 0
+        vm = self.vm
+        for v, msg in list(self.incoming_msgs.items()):
+            if msg.space.value == "freed":
+                continue
+            freed += msg.size
+            self.offloaded_msgs[v] = msg.size
+        vm.clear_refs(self.incoming_root)
+        self.incoming_msgs = {}
+        return freed
+
+    def _edges_for_compute(self, v: int) -> Optional[HeapObject]:
+        """The edge array, reloading it from the device if offloaded."""
+        edges = self.edge_roots[v]
+        if edges is not None:
+            return edges
+        # Offloaded: read back and reallocate on-heap — making room first
+        # if the heap is under pressure.
+        size = self._edge_sizes[v]
+        if self.ooc is not None:
+            self.ooc.maybe_offload()
+            self.ooc.reload(size, key=("edges", v))
+        vm = self.vm
+        with vm.roots.frame() as frame:
+            edges = self._allocate_array(size, f"edges-{v}-reload", frame)
+            vertex = self.vertex_objs[v]
+            vm.write_ref(vertex, edges)
+        self.edge_roots[v] = edges
+        if self.ooc is not None:
+            self.ooc.dropped_estimate = max(
+                0, self.ooc.dropped_estimate - size
+            )
+        return edges
+
+    # ==================================================================
+    # BSP execution
+    # ==================================================================
+    def run(self, program: VertexProgram) -> int:
+        """Execute supersteps until convergence; returns supersteps run."""
+        vm = self.vm
+        senders = program.initial_senders()
+        for step in range(program.max_supersteps):
+            received = program._messages_from(senders)
+            # --- current message store (mutable during this superstep) --
+            current_root, current_msgs = self._fill_message_store(
+                step, senders, received
+            )
+            # --- compute phase over the sending vertices -----------------
+            self._compute_phase(step, senders)
+            next_senders, done = program.superstep(step, received, senders)
+            # Master-side aggregation (e.g. convergence statistics).
+            self.aggregators.aggregate("active_vertices", int(senders.sum()))
+            # --- synchronisation barrier --------------------------------
+            self.aggregators.barrier()
+            self._retire_incoming()
+            self.incoming_root = current_root
+            self.incoming_msgs = current_msgs
+            if (
+                self.conf.mode is GiraphMode.TERAHEAP
+                and self.conf.use_move_hint
+            ):
+                # Step 4 in Figure 5: last superstep's messages are now
+                # immutable; advise their move.
+                vm.h2_move(f"msgs-{step}")
+            if self.ooc is not None:
+                self.ooc.maybe_offload()
+            self.supersteps_run += 1
+            senders = next_senders
+            if done:
+                break
+        self._retire_incoming()
+        return self.supersteps_run
+
+    # ------------------------------------------------------------------
+    def _fill_message_store(
+        self, step: int, senders: np.ndarray, received: np.ndarray
+    ):
+        """Allocate the superstep's aggregated per-target message batches."""
+        vm = self.vm
+        mask = senders[self._edge_sources]
+        counts = np.bincount(
+            self._edge_targets[mask], minlength=self.graph.num_vertices
+        )
+        current_root = vm.allocate(1024, name=f"msgstore-{step}")
+        vm.write_ref(self.runtime_root, current_root)
+        if self.conf.mode is GiraphMode.TERAHEAP:
+            # Step 3 in Figure 5: tag the store as it is produced.
+            vm.h2_tag_root(current_root, f"msgs-{step}")
+        msgs: Dict[int, HeapObject] = {}
+        targets = np.flatnonzero(received)
+        for t in targets:
+            if self.combiner is not None:
+                payload = self.combiner.combined_bytes(
+                    int(counts[t]), self.bytes_per_message
+                )
+            else:
+                payload = int(counts[t]) * self.bytes_per_message
+            nbytes = 64 + payload
+            with vm.roots.frame() as frame:
+                msg = self._allocate_array(nbytes, f"msg-{step}-{t}", frame)
+                # Appending to the (possibly H2-resident) store is the
+                # mutable-object update the transfer hint protects against.
+                vm.write_ref(current_root, msg)
+            msgs[int(t)] = msg
+            self.messages_sent += int(counts[t])
+            self.message_store_bytes += nbytes
+            if self.ooc is not None and len(msgs) % 256 == 0:
+                self.ooc.maybe_offload()
+        vm.compute(len(targets))
+        return current_root, msgs
+
+    @property
+    def _edge_sources(self) -> np.ndarray:
+        if not hasattr(self, "_src_cache"):
+            lengths = [len(e) for e in self.graph.out_edges]
+            self._src_cache = np.repeat(
+                np.arange(self.graph.num_vertices, dtype=np.int64), lengths
+            )
+            self._tgt_cache = (
+                np.concatenate(self.graph.out_edges).astype(np.int64)
+                if self.graph.num_vertices
+                else np.zeros(0, dtype=np.int64)
+            )
+        return self._src_cache
+
+    @property
+    def _edge_targets(self) -> np.ndarray:
+        self._edge_sources  # ensure caches
+        return self._tgt_cache
+
+    def _compute_phase(self, step: int, senders: np.ndarray) -> None:
+        vm = self.vm
+        active = np.flatnonzero(senders)
+        vm.compute(len(active) * self.conf.ops_per_vertex)
+        # Giraph processes one partition at a time; grouping accesses by
+        # partition keeps the out-of-core working set coherent instead of
+        # thrashing every partition on every vertex.
+        parts = self.conf.num_partitions
+        active = active[np.argsort(active % parts, kind="stable")]
+        for i, v in enumerate(active):
+            v = int(v)
+            self.current_partition = v % parts
+            vertex = self._vertex_for_compute(v)
+            vm.read_object(vertex)
+            edges = self._edges_for_compute(v)
+            if edges is not None:
+                vm.read_object(edges)
+            msg = self.incoming_msgs.get(v)
+            if msg is not None:
+                vm.read_object(msg)
+            elif v in self.offloaded_msgs and self.ooc is not None:
+                # The store was pushed out-of-core mid-superstep; pay the
+                # device round trip for this vertex's batch.
+                self.ooc.reload(
+                    self.offloaded_msgs.pop(v), key=("msg", step, v)
+                )
+            # Vertex value update: a primitive write, plus its barrier.
+            vm.write_ref(vertex, None)
+            if self.ooc is not None and i % 128 == 127:
+                self.ooc.maybe_offload()
+        self.current_partition = None
+
+    def _retire_incoming(self) -> None:
+        """Drop the consumed message store (post-barrier)."""
+        if self.incoming_root is not None:
+            self.vm.write_ref(
+                self.runtime_root, None, remove=self.incoming_root
+            )
+            if self.ooc is not None:
+                self.ooc.note_gc()
+        self.incoming_root = None
+        self.incoming_msgs = {}
+        self.offloaded_msgs = {}

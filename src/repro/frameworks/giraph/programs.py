@@ -1,0 +1,197 @@
+"""Vertex programs: the five LDBC Graphalytics workloads (Table 4).
+
+Each program owns its value arrays (numpy) and exposes one superstep
+transition: given which vertices received messages, compute new values and
+report which vertices *send* messages this superstep.  The job layer turns
+sends into message-store allocations; the program layer is pure algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ...workloads.generators import GraphDataset
+
+
+class VertexProgram:
+    """Base class: algorithm state over a CSR view of the graph."""
+
+    name = "program"
+    #: upper bound on supersteps (safety for non-converging runs)
+    max_supersteps = 30
+
+    def __init__(self, graph: GraphDataset):
+        self.graph = graph
+        n = graph.num_vertices
+        lengths = np.array([len(e) for e in graph.out_edges], dtype=np.int64)
+        self.indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.indptr[1:])
+        self.edge_targets = (
+            np.concatenate(graph.out_edges)
+            if n
+            else np.zeros(0, dtype=np.int64)
+        ).astype(np.int64)
+        self.edge_sources = np.repeat(np.arange(n, dtype=np.int64), lengths)
+        self.out_degree = np.maximum(lengths, 1)
+
+    # ------------------------------------------------------------------
+    def initial_senders(self) -> np.ndarray:
+        """Boolean mask of vertices that send in superstep 0."""
+        raise NotImplementedError
+
+    def superstep(
+        self, step: int, received: np.ndarray, senders: np.ndarray
+    ) -> Tuple[np.ndarray, bool]:
+        """One BSP transition.
+
+        ``received`` marks vertices with incoming messages; ``senders``
+        marks who sent them.  Returns the mask of vertices sending in the
+        *next* superstep and a convergence flag.
+        """
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------
+    def _messages_from(self, senders: np.ndarray) -> np.ndarray:
+        """Target-vertex mask of messages sent by ``senders``."""
+        mask = senders[self.edge_sources]
+        received = np.zeros(self.graph.num_vertices, dtype=bool)
+        received[self.edge_targets[mask]] = True
+        return received
+
+
+class PageRankProgram(VertexProgram):
+    """PR: every vertex sends rank/degree along every edge, fixed rounds."""
+
+    name = "PR"
+
+    def __init__(self, graph: GraphDataset, iterations: int = 12):
+        super().__init__(graph)
+        self.iterations = iterations
+        self.max_supersteps = iterations
+        self.ranks = np.full(graph.num_vertices, 1.0 / max(graph.num_vertices, 1))
+
+    def initial_senders(self) -> np.ndarray:
+        return np.ones(self.graph.num_vertices, dtype=bool)
+
+    def superstep(self, step, received, senders):
+        contrib = self.ranks[self.edge_sources] / self.out_degree[self.edge_sources]
+        sums = np.zeros(self.graph.num_vertices)
+        np.add.at(sums, self.edge_targets, contrib * senders[self.edge_sources])
+        self.ranks = 0.15 / max(self.graph.num_vertices, 1) + 0.85 * sums
+        done = step + 1 >= self.iterations
+        next_senders = np.ones(self.graph.num_vertices, dtype=bool)
+        return next_senders, done
+
+
+class CDLPProgram(VertexProgram):
+    """CDLP: community detection by label propagation, fixed rounds.
+
+    Graphalytics CDLP adopts each vertex's most frequent neighbour label;
+    every vertex stays active every round.
+    """
+
+    name = "CDLP"
+
+    def __init__(self, graph: GraphDataset, iterations: int = 10):
+        super().__init__(graph)
+        self.iterations = iterations
+        self.max_supersteps = iterations
+        self.labels = np.arange(graph.num_vertices, dtype=np.int64)
+
+    def initial_senders(self) -> np.ndarray:
+        return np.ones(self.graph.num_vertices, dtype=bool)
+
+    def superstep(self, step, received, senders):
+        # Most-frequent-neighbour-label, approximated by the minimum label
+        # among neighbours weighted by occurrence (ties resolve to min, as
+        # in the Graphalytics reference implementation).
+        incoming = self.labels[self.edge_sources]
+        new_labels = self.labels.copy()
+        order = np.argsort(self.edge_targets, kind="stable")
+        np.minimum.at(new_labels, self.edge_targets[order], incoming[order])
+        self.labels = new_labels
+        done = step + 1 >= self.iterations
+        return np.ones(self.graph.num_vertices, dtype=bool), done
+
+
+class WCCProgram(VertexProgram):
+    """WCC: min-label propagation until no label changes."""
+
+    name = "WCC"
+    max_supersteps = 25
+
+    def __init__(self, graph: GraphDataset):
+        super().__init__(graph)
+        self.components = np.arange(graph.num_vertices, dtype=np.int64)
+
+    def initial_senders(self) -> np.ndarray:
+        return np.ones(self.graph.num_vertices, dtype=bool)
+
+    def superstep(self, step, received, senders):
+        incoming = self.components[self.edge_sources]
+        candidate = self.components.copy()
+        mask = senders[self.edge_sources]
+        np.minimum.at(candidate, self.edge_targets[mask], incoming[mask])
+        changed = candidate < self.components
+        self.components = candidate
+        return changed, not changed.any()
+
+
+class BFSProgram(VertexProgram):
+    """BFS: frontier expansion from a source vertex."""
+
+    name = "BFS"
+    max_supersteps = 25
+
+    def __init__(self, graph: GraphDataset, source: int = 0):
+        super().__init__(graph)
+        self.dist = np.full(graph.num_vertices, -1, dtype=np.int64)
+        self.dist[source] = 0
+        self.source = source
+
+    def initial_senders(self) -> np.ndarray:
+        mask = np.zeros(self.graph.num_vertices, dtype=bool)
+        mask[self.source] = True
+        return mask
+
+    def superstep(self, step, received, senders):
+        frontier = received & (self.dist < 0)
+        self.dist[frontier] = step + 1
+        return frontier, not frontier.any()
+
+
+class SSSPProgram(VertexProgram):
+    """SSSP: Bellman-Ford-style relaxation with unit-ish weights."""
+
+    name = "SSSP"
+    max_supersteps = 30
+
+    def __init__(self, graph: GraphDataset, source: int = 0):
+        super().__init__(graph)
+        n = graph.num_vertices
+        self.dist = np.full(n, np.inf)
+        self.dist[source] = 0.0
+        # Deterministic pseudo-weights in [1, 4].
+        self.weights = 1.0 + (
+            (self.edge_sources + self.edge_targets) % 4
+        ).astype(float)
+        self.source = source
+
+    def initial_senders(self) -> np.ndarray:
+        mask = np.zeros(self.graph.num_vertices, dtype=bool)
+        mask[self.source] = True
+        return mask
+
+    def superstep(self, step, received, senders):
+        mask = senders[self.edge_sources]
+        candidate = self.dist.copy()
+        np.minimum.at(
+            candidate,
+            self.edge_targets[mask],
+            self.dist[self.edge_sources[mask]] + self.weights[mask],
+        )
+        improved = candidate < self.dist
+        self.dist = candidate
+        return improved, not improved.any()

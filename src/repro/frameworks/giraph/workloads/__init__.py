@@ -1,0 +1,53 @@
+"""The five Giraph workloads (LDBC Graphalytics, Table 4)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ....runtime import JavaVM
+from ....units import KiB
+from ....workloads.generators import GraphDataset, make_graph
+from ..conf import GiraphConf
+from ..job import GiraphJob
+from ..programs import (
+    BFSProgram,
+    CDLPProgram,
+    PageRankProgram,
+    SSSPProgram,
+    VertexProgram,
+    WCCProgram,
+)
+
+#: program constructors keyed by the paper's workload abbreviations
+GIRAPH_PROGRAMS: Dict[str, Callable[[GraphDataset], VertexProgram]] = {
+    "PR": PageRankProgram,
+    "CDLP": CDLPProgram,
+    "WCC": WCCProgram,
+    "BFS": BFSProgram,
+    "SSSP": SSSPProgram,
+}
+
+
+def make_giraph_graph(target_bytes: int, seed: int = 42) -> GraphDataset:
+    """A datagen-like graph sized so edge arrays stay below H2 region size."""
+    num_vertices = max(2000, target_bytes // (12 * KiB))
+    return make_graph(
+        target_bytes, num_vertices=num_vertices, avg_degree=8.0, seed=seed
+    )
+
+
+def run_giraph(
+    vm: JavaVM,
+    conf: GiraphConf,
+    graph: GraphDataset,
+    workload: str,
+) -> GiraphJob:
+    """Load the graph and run one workload end to end."""
+    program = GIRAPH_PROGRAMS[workload](graph)
+    job = GiraphJob(vm, conf, graph)
+    job.load_graph()
+    job.run(program)
+    return job
+
+
+__all__ = ["GIRAPH_PROGRAMS", "make_giraph_graph", "run_giraph"]

@@ -1,0 +1,29 @@
+"""Mini-Spark: RDDs, a block manager with on-heap/off-heap caching, shuffle.
+
+Models the Spark behaviours the paper depends on (Section 5, Figure 4):
+
+- applications call ``persist()`` unmodified;
+- the block manager keeps cached partitions in a hash map, up to a
+  storage fraction of the heap on-heap, serializing the rest to the
+  off-heap store on a device (Spark-SD), keeping everything on-heap
+  (Spark-MO), or tagging partition descriptors with ``h2_tag_root`` +
+  ``h2_move`` so TeraHeap migrates them to H2;
+- shuffles serialize/deserialize through the Kryo path in every
+  configuration.
+"""
+
+from .block_manager import BlockManager, CacheEntry
+from .conf import CachePolicy, SparkConf
+from .context import SparkContext
+from .rdd import RDD, MaterializedPartition, PartitionSpec
+
+__all__ = [
+    "BlockManager",
+    "CacheEntry",
+    "CachePolicy",
+    "MaterializedPartition",
+    "PartitionSpec",
+    "RDD",
+    "SparkConf",
+    "SparkContext",
+]

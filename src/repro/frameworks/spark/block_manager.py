@@ -1,0 +1,188 @@
+"""The Spark block manager and its compute cache (Section 5, Figure 4).
+
+Cached partitions live in a hash map rooted in the executor.  The three
+policies correspond to the paper's configurations:
+
+- **SD**: partitions fill the on-heap cache up to the storage fraction;
+  the rest serialize to the off-heap store on the device and must be
+  deserialized (fresh objects, fresh garbage) on *every* access.
+- **MO**: everything stays on-heap (the heap is sized to fit).
+- **TERAHEAP**: every partition descriptor is tagged with
+  ``h2_tag_root(root, rdd_id)`` and ``h2_move(rdd_id)`` is issued
+  immediately — cached objects migrate to H2 at the next major GC and are
+  then read in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...clock import Bucket
+from ...heap.object_model import HeapObject
+from ...runtime import JavaVM
+from ...serdes.serializer import SerializedBlob
+from .conf import CachePolicy, SparkConf
+from .rdd import RDD, MaterializedPartition
+
+
+@dataclass
+class CacheEntry:
+    """One cached partition."""
+
+    kind: str  # "heap" (H1 or H2) | "blob" (serialized off-heap)
+    partition: Optional[MaterializedPartition] = None
+    blob: Optional[SerializedBlob] = None
+    num_chunks: int = 0
+    chunk_size: int = 0
+
+
+class BlockManager:
+    """Executor-wide cache of RDD partitions."""
+
+    def __init__(self, vm: JavaVM, conf: SparkConf):
+        self.vm = vm
+        self.conf = conf
+        #: the compute-cache hash map (Figure 4), pinned as a GC root
+        self.cache_root = vm.allocate(1024, name="blockmgr-hashmap")
+        vm.roots.add(self.cache_root)
+        self.entries: Dict[Tuple[int, int], CacheEntry] = {}
+        self.onheap_budget = int(
+            vm.config.heap_size * conf.storage_fraction
+        )
+        self.onheap_used = 0
+        self.offheap_bytes = 0
+        self.deserializations = 0
+
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self,
+        rdd: RDD,
+        index: int,
+        compute: Callable[[int], MaterializedPartition],
+    ) -> MaterializedPartition:
+        key = (rdd.rdd_id, index)
+        entry = self.entries.get(key)
+        if entry is None:
+            part = compute(index)
+            with self.vm.roots.frame() as frame:
+                # Pin the fresh partition while the store path may allocate
+                # (serialization temporaries can trigger a collection).
+                frame.push(part.root)
+                frame.push_all(part.chunks)
+                self._store(rdd, index, part)
+            return part
+        if entry.kind == "heap":
+            return entry.partition
+        return self._read_offheap(rdd, index, entry)
+
+    # ------------------------------------------------------------------
+    def _store(self, rdd: RDD, index: int, part: MaterializedPartition) -> None:
+        key = (rdd.rdd_id, index)
+        vm = self.vm
+        policy = self.conf.cache_policy
+        size = part.size_bytes
+        if policy is CachePolicy.TERAHEAP:
+            vm.write_ref(self.cache_root, part.root)
+            # Mark the partition descriptor as a root key-object with the
+            # RDD id as its label and advise the move right away — cached
+            # partitions are immutable at allocation time (Section 5).
+            vm.h2_tag_root(part.root, rdd.cache_label)
+            vm.h2_move(rdd.cache_label)
+            self.entries[key] = CacheEntry(kind="heap", partition=part)
+            self.onheap_used += size
+            return
+        if policy is CachePolicy.MO:
+            # MEMORY_ONLY semantics: evict (drop) the oldest cached
+            # partitions when the memory store overflows; dropped
+            # partitions are recomputed on their next access.
+            budget = int(self.vm.config.heap_size * 0.6)
+            while self.onheap_used + size > budget and self.entries:
+                self._drop_oldest()
+            if self.onheap_used + size > budget:
+                return  # cannot cache at all; always recompute
+            vm.write_ref(self.cache_root, part.root)
+            self.entries[key] = CacheEntry(kind="heap", partition=part)
+            self.onheap_used += size
+            return
+        if self.onheap_used + size <= self.onheap_budget:
+            vm.write_ref(self.cache_root, part.root)
+            self.entries[key] = CacheEntry(kind="heap", partition=part)
+            self.onheap_used += size
+            return
+        # SD overflow: serialize to the off-heap store and let the heap
+        # copy die.
+        blob = vm.serializer.serialize(part.root)
+        device = self.conf.offheap_device
+        if device is not None:
+            with vm.clock.context(Bucket.SD_IO):
+                device.write(blob.size_bytes)
+        self.offheap_bytes += blob.size_bytes
+        self.entries[key] = CacheEntry(
+            kind="blob",
+            blob=blob,
+            num_chunks=len(part.chunks),
+            chunk_size=part.chunks[0].size if part.chunks else 0,
+        )
+
+    def _drop_oldest(self) -> None:
+        """Evict the oldest cached partition (drop, no spill)."""
+        key = next(iter(self.entries))
+        entry = self.entries.pop(key)
+        if entry.kind == "heap" and entry.partition is not None:
+            self.vm.write_ref(
+                self.cache_root, None, remove=entry.partition.root
+            )
+            self.onheap_used -= entry.partition.size_bytes
+        elif entry.blob is not None:
+            self.offheap_bytes -= entry.blob.size_bytes
+        self.drops = getattr(self, "drops", 0) + 1
+
+    def _read_offheap(
+        self, rdd: RDD, index: int, entry: CacheEntry
+    ) -> MaterializedPartition:
+        """Deserialize an off-heap partition back onto the heap.
+
+        This is the recurring cost TeraHeap eliminates: every access pays
+        device reads, deserialization CPU, and a fresh short-lived copy of
+        the whole partition on the managed heap.
+        """
+        vm = self.vm
+        device = self.conf.offheap_device
+        if device is not None:
+            with vm.clock.context(Bucket.SD_IO):
+                device.read(entry.blob.size_bytes)
+        vm.serializer.deserialize_cost(entry.blob)
+        self.deserializations += 1
+        with vm.roots.frame() as frame:
+            chunks = []
+            for i in range(entry.num_chunks):
+                chunks.append(
+                    frame.push(
+                        vm.allocate(
+                            entry.chunk_size, name=f"{rdd.name}-p{index}-d{i}"
+                        )
+                    )
+                )
+            root = vm.allocate(
+                max(64, 8 * entry.num_chunks),
+                refs=chunks,
+                name=f"{rdd.name}-p{index}-deser",
+            )
+        return MaterializedPartition(root=root, chunks=chunks)
+
+    # ------------------------------------------------------------------
+    def evict_rdd(self, rdd: RDD) -> None:
+        """Drop an RDD's cached partitions (unpersist)."""
+        for key in [k for k in self.entries if k[0] == rdd.rdd_id]:
+            entry = self.entries.pop(key)
+            if entry.kind == "heap" and entry.partition is not None:
+                self.vm.write_ref(
+                    self.cache_root, None, remove=entry.partition.root
+                )
+                self.onheap_used -= entry.partition.size_bytes
+            elif entry.blob is not None:
+                self.offheap_bytes -= entry.blob.size_bytes
+
+    def cached_bytes(self) -> int:
+        return self.onheap_used + self.offheap_bytes

@@ -1,0 +1,35 @@
+"""Spark executor configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ...devices.base import Device
+
+
+class CachePolicy(enum.Enum):
+    """How the block manager handles cached partitions (Table 2)."""
+
+    #: Spark-SD: on-heap up to the storage fraction, the rest serialized to
+    #: the off-heap store on NVMe SSD or NVM (App Direct)
+    SD = "sd"
+    #: Spark-MO: heap sized to fit all cached data (NVM Memory mode)
+    MO = "mo"
+    #: TeraHeap: cached partitions tagged and migrated to H2
+    TERAHEAP = "teraheap"
+
+
+@dataclass
+class SparkConf:
+    """Executor-level knobs used by the paper's configurations."""
+
+    cache_policy: CachePolicy = CachePolicy.SD
+    #: device backing the off-heap store and shuffle spills
+    offheap_device: Optional[Device] = None
+    num_partitions: int = 64
+    #: fraction of the heap the on-heap cache may occupy (Section 6: 50%)
+    storage_fraction: float = 0.5
+    #: average serialized record size, used to count shuffle records
+    shuffle_record_bytes: int = 512

@@ -1,0 +1,89 @@
+"""The Spark executor context: entry point for workloads."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...devices.base import AccessPattern
+from ...runtime import JavaVM
+from ...units import KiB
+from ...workloads.generators import GraphDataset, MLDataset, TableDataset
+from .block_manager import BlockManager
+from .conf import CachePolicy, SparkConf
+from .rdd import RDD, MaterializedPartition, make_partitions
+from .shuffle import ShuffleManager
+
+
+class SparkContext:
+    """One executor's view of mini-Spark."""
+
+    def __init__(self, vm: JavaVM, conf: Optional[SparkConf] = None):
+        self.vm = vm
+        self.conf = conf or SparkConf()
+        self.block_manager = BlockManager(vm, self.conf)
+        self.shuffle_manager = ShuffleManager(vm, self.conf)
+        self._rdd_counter = 0
+        #: stack frame of the executing task batch; while set, partitions
+        #: materialised by tasks stay pinned until the whole batch retires
+        #: (8 concurrent tasks each hold their input partition)
+        self.batch_frame = None
+
+    def next_rdd_id(self) -> int:
+        self._rdd_counter += 1
+        return self._rdd_counter
+
+    # ------------------------------------------------------------------
+    # RDD constructors
+    # ------------------------------------------------------------------
+    def range_rdd(
+        self,
+        total_bytes: int,
+        chunk_size: int = 8 * KiB,
+        compute_ops_per_chunk: int = 64,
+        name: str = "",
+        scan_factor: float = 1.0,
+    ) -> RDD:
+        """A source RDD of ``total_bytes`` split across the partitions."""
+        parts = make_partitions(
+            total_bytes, self.conf.num_partitions, chunk_size, scan_factor
+        )
+        return RDD(
+            self,
+            parts,
+            compute_ops_per_chunk=compute_ops_per_chunk,
+            name=name,
+        )
+
+    def ml_rdd(self, dataset: MLDataset, name: str = "points") -> RDD:
+        return self.range_rdd(
+            dataset.total_bytes, chunk_size=dataset.chunk_size, name=name
+        )
+
+    def graph_rdd(self, dataset: GraphDataset, name: str = "edges") -> RDD:
+        return self.range_rdd(
+            dataset.total_bytes, chunk_size=8 * KiB, name=name
+        )
+
+    def table_rdd(self, dataset: TableDataset, name: str = "table") -> RDD:
+        return self.range_rdd(
+            dataset.total_bytes, chunk_size=dataset.chunk_size, name=name
+        )
+
+    # ------------------------------------------------------------------
+    # Execution helpers
+    # ------------------------------------------------------------------
+    def read_partition(
+        self,
+        part: MaterializedPartition,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> None:
+        """Mutator reads every chunk of a partition (H2-aware)."""
+        for chunk in part.chunks:
+            self.vm.read_object(chunk, pattern)
+
+    def shuffle(self, nbytes: int, records: int = 0) -> None:
+        self.shuffle_manager.shuffle(nbytes, records)
+
+    @property
+    def uses_teraheap(self) -> bool:
+        return self.conf.cache_policy is CachePolicy.TERAHEAP

@@ -1,0 +1,247 @@
+"""RDDs: lazily evaluated, partitioned, optionally cached collections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from ...heap.object_model import HeapObject
+from ...units import KiB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import SparkContext
+
+
+@dataclass
+class PartitionSpec:
+    """Static description of one partition's materialised shape."""
+
+    index: int
+    num_chunks: int
+    chunk_size: int
+    #: GC scan-cost multiplier for this data's chunks: fine-grained
+    #: record types (vertex-pair wedges, boxed tuples) pack many more
+    #: paper-scale objects per byte than row batches do
+    scan_factor: float = 1.0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_chunks * self.chunk_size
+
+
+@dataclass
+class MaterializedPartition:
+    """A partition resident on the managed heap (H1 or H2)."""
+
+    root: HeapObject
+    chunks: List[HeapObject]
+
+    @property
+    def size_bytes(self) -> int:
+        return self.root.size + sum(c.size for c in self.chunks)
+
+
+class RDD:
+    """A resilient distributed dataset.
+
+    Partitions materialise as one descriptor root object referencing
+    ``num_chunks`` row-batch chunk objects — the "group of objects with a
+    single-entry root reference" structure the paper's hint interface
+    exploits (Section 3.1).
+    """
+
+    def __init__(
+        self,
+        ctx: "SparkContext",
+        partitions: List[PartitionSpec],
+        parent: Optional["RDD"] = None,
+        compute_ops_per_chunk: int = 64,
+        name: str = "",
+    ):
+        self.ctx = ctx
+        self.rdd_id = ctx.next_rdd_id()
+        self.partitions = partitions
+        self.parent = parent
+        self.compute_ops_per_chunk = compute_ops_per_chunk
+        self.name = name or f"rdd-{self.rdd_id}"
+        self.persisted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(p.size_bytes for p in self.partitions)
+
+    @property
+    def cache_label(self) -> str:
+        """TeraHeap label: the RDD id (Section 5, Figure 4)."""
+        return f"rdd-{self.rdd_id}"
+
+    # ------------------------------------------------------------------
+    # Transformations (lazy)
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        ops_per_chunk: int = 64,
+        size_factor: float = 1.0,
+        name: str = "",
+        scan_factor: Optional[float] = None,
+    ) -> "RDD":
+        """A narrow transformation producing ``size_factor`` x the bytes."""
+        children = [
+            PartitionSpec(
+                index=p.index,
+                num_chunks=max(1, int(p.num_chunks * size_factor)),
+                chunk_size=p.chunk_size,
+                scan_factor=(
+                    p.scan_factor if scan_factor is None else scan_factor
+                ),
+            )
+            for p in self.partitions
+        ]
+        return RDD(
+            self.ctx,
+            children,
+            parent=self,
+            compute_ops_per_chunk=ops_per_chunk,
+            name=name,
+        )
+
+    def persist(self) -> "RDD":
+        """Mark for caching — the unmodified application-level call."""
+        self.persisted = True
+        return self
+
+    def unpersist(self) -> "RDD":
+        self.persisted = False
+        self.ctx.block_manager.evict_rdd(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def compute_partition(self, index: int) -> MaterializedPartition:
+        """Materialise one partition, honouring the cache."""
+        if self.persisted:
+            return self.ctx.block_manager.get_or_compute(
+                self, index, self._compute
+            )
+        return self._compute(index)
+
+    def _compute(self, index: int) -> MaterializedPartition:
+        vm = self.ctx.vm
+        spec = self.partitions[index]
+        with vm.roots.frame() as frame:
+            if self.parent is not None:
+                parent_part = self.parent.compute_partition(index)
+                # The task holds its input partition on the stack while
+                # producing this one; with a batch frame active, all
+                # concurrent tasks' inputs stay pinned together.
+                holder = self.ctx.batch_frame or frame
+                holder.push(parent_part.root)
+                holder.push_all(parent_part.chunks)
+                self.ctx.read_partition(parent_part)
+                vm.compute(
+                    len(parent_part.chunks) * self.compute_ops_per_chunk
+                )
+            else:
+                # Source partition: records stream in from external storage.
+                vm.compute(spec.num_chunks * self.compute_ops_per_chunk)
+            chunks = []
+            for i in range(spec.num_chunks):
+                chunk = vm.allocate(
+                    spec.chunk_size, name=f"{self.name}-p{index}-c{i}"
+                )
+                chunk.scan_factor = spec.scan_factor
+                chunks.append(frame.push(chunk))
+            root = vm.allocate(
+                max(64, 8 * spec.num_chunks),
+                refs=chunks,
+                name=f"{self.name}-p{index}",
+            )
+        return MaterializedPartition(root=root, chunks=chunks)
+
+    def _task_batches(self):
+        """Partition indices grouped by executor task slots.
+
+        The executor runs ``mutator_threads`` tasks concurrently; each
+        in-flight task pins its partition (and any deserialized copy of
+        it) on the mutator stack.  This concurrent working set is what
+        overflows the survivor spaces and drives promotion — the memory
+        pressure the paper's Section 7.6 thread-scaling experiment probes.
+        """
+        threads = self.ctx.vm.config.mutator_threads
+        indices = list(range(self.num_partitions))
+        for i in range(0, len(indices), threads):
+            yield indices[i : i + threads]
+
+    def evaluate(self) -> int:
+        """Action: materialise every partition (e.g. ``count()``).
+
+        Uncached partitions become garbage as soon as their task batch
+        completes — the allocation churn that pressures the young gen.
+        """
+        total = 0
+        vm = self.ctx.vm
+        for batch in self._task_batches():
+            with vm.roots.frame() as frame:
+                self.ctx.batch_frame = frame
+                try:
+                    for index in batch:
+                        part = self.compute_partition(index)
+                        frame.push(part.root)
+                        frame.push_all(part.chunks)
+                        total += part.size_bytes
+                finally:
+                    self.ctx.batch_frame = None
+        return total
+
+    #: temporary bytes allocated per cached byte processed in an epoch
+    #: (gradient vectors, boxed intermediates)
+    EPOCH_TEMP_RATIO = 0.3
+    #: per-task partial aggregates that stay live for the task's duration
+    #: and therefore survive (and get copied by) intervening minor GCs
+    EPOCH_PARTIAL_RATIO = 0.12
+
+    def foreach_cached(self, ops_per_chunk: int) -> None:
+        """Iterate the cached data (one ML training epoch)."""
+        vm = self.ctx.vm
+        for batch in self._task_batches():
+            with vm.roots.frame() as frame:
+                for index in batch:
+                    part = self.compute_partition(index)
+                    frame.push(part.root)
+                    frame.push_all(part.chunks)
+                    self.ctx.read_partition(part)
+                    vm.compute(len(part.chunks) * ops_per_chunk)
+                    partial = int(part.size_bytes * self.EPOCH_PARTIAL_RATIO)
+                    if partial >= 16:
+                        frame.push(
+                            vm.allocate(partial, name="task-partial")
+                        )
+                    vm.allocate_temp(
+                        int(part.size_bytes * self.EPOCH_TEMP_RATIO)
+                    )
+
+
+def make_partitions(
+    total_bytes: int,
+    num_partitions: int,
+    chunk_size: int = 8 * KiB,
+    scan_factor: float = 1.0,
+) -> List[PartitionSpec]:
+    """Split ``total_bytes`` into equal partitions of equal-size chunks."""
+    per_part = max(chunk_size, total_bytes // max(num_partitions, 1))
+    chunks = max(1, per_part // chunk_size)
+    return [
+        PartitionSpec(
+            index=i,
+            num_chunks=chunks,
+            chunk_size=chunk_size,
+            scan_factor=scan_factor,
+        )
+        for i in range(num_partitions)
+    ]

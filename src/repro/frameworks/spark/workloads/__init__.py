@@ -1,0 +1,60 @@
+"""The ten Spark workloads of the paper's evaluation (Table 3).
+
+GraphX: PageRank (PR), Connected Components (CC), Shortest Path (SSSP),
+SVDPlusPlus (SVD), Triangle Counts (TR).  MLlib: Linear Regression (LR),
+Logistic Regression (LgR), Support Vector Machine (SVM), Naive Bayes
+Classifier (BC).  SQL: RDD-Relational (RL).  KMeans (KM) appears only in
+the Panthera comparison (Figure 12c).
+
+Each workload is a function ``run(ctx, dataset_bytes, scale=1.0)`` whose
+allocation, caching, S/D and compute pattern mirrors its SparkBench
+counterpart at simulation scale.
+"""
+
+from .graphx import (
+    run_connected_components,
+    run_pagerank,
+    run_shortest_path,
+    run_svdplusplus,
+    run_triangle_counts,
+)
+from .mllib import (
+    run_kmeans,
+    run_linear_regression,
+    run_logistic_regression,
+    run_naive_bayes,
+    run_svm,
+)
+from .sql import run_rdd_relational
+
+#: registry keyed by the paper's workload abbreviations
+SPARK_WORKLOADS = {
+    "PR": run_pagerank,
+    "CC": run_connected_components,
+    "SSSP": run_shortest_path,
+    "SVD": run_svdplusplus,
+    "TR": run_triangle_counts,
+    "LR": run_linear_regression,
+    "LgR": run_logistic_regression,
+    "SVM": run_svm,
+    "BC": run_naive_bayes,
+    "RL": run_rdd_relational,
+    "KM": run_kmeans,
+}
+
+__all__ = ["SPARK_WORKLOADS"] + [
+    f"run_{n}"
+    for n in (
+        "pagerank",
+        "connected_components",
+        "shortest_path",
+        "svdplusplus",
+        "triangle_counts",
+        "linear_regression",
+        "logistic_regression",
+        "svm",
+        "naive_bayes",
+        "kmeans",
+        "rdd_relational",
+    )
+]

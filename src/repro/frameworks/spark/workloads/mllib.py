@@ -1,0 +1,102 @@
+"""MLlib-style training workloads.
+
+LR/LgR/SVM cache a training set and stream every cached record once per
+epoch — the access pattern that, under TeraHeap, turns into sequential H2
+reads running at the device's bandwidth ceiling (Section 7.1), and under
+Spark-SD into a full deserialization of the off-heap partitions every
+epoch.  BC (Naive Bayes on KDD12) is a single pass with large aggregation
+shuffles and large row batches (humongous objects under G1).
+"""
+
+from __future__ import annotations
+
+from ....units import KiB
+from ..context import SparkContext
+
+#: row-batch size for workloads whose batches become humongous under G1
+#: (> half a 32 MB-at-paper-scale G1 region, and not a multiple of the
+#: region size, so every batch wastes a large tail of its last region)
+LARGE_BATCH = 40 * KiB
+
+
+def _train(
+    ctx: SparkContext,
+    dataset_bytes: int,
+    epochs: int,
+    ops_per_chunk: int,
+    chunk_size: int = 8 * KiB,
+    aggregate_bytes: int = 64 * KiB,
+    name: str = "ml",
+) -> None:
+    points = ctx.range_rdd(
+        dataset_bytes, chunk_size=chunk_size, name=f"{name}-points"
+    ).persist()
+    points.evaluate()  # load + cache the training set
+    for _ in range(epochs):
+        points.foreach_cached(ops_per_chunk)  # one gradient epoch
+        ctx.shuffle(aggregate_bytes)  # treeAggregate of the gradient
+
+
+def run_linear_regression(
+    ctx: SparkContext, dataset_bytes: int, scale: float = 1.0
+):
+    _train(
+        ctx,
+        dataset_bytes,
+        epochs=max(2, int(15 * scale)),
+        ops_per_chunk=96,
+        name="lr",
+    )
+
+
+def run_logistic_regression(
+    ctx: SparkContext, dataset_bytes: int, scale: float = 1.0
+):
+    _train(
+        ctx,
+        dataset_bytes,
+        epochs=max(2, int(15 * scale)),
+        ops_per_chunk=128,
+        name="lgr",
+    )
+
+
+def run_svm(ctx: SparkContext, dataset_bytes: int, scale: float = 1.0):
+    """SVM: hinge-loss epochs over large row batches."""
+    _train(
+        ctx,
+        dataset_bytes,
+        epochs=max(2, int(12 * scale)),
+        ops_per_chunk=112,
+        chunk_size=LARGE_BATCH,
+        name="svm",
+    )
+
+
+def run_naive_bayes(
+    ctx: SparkContext, dataset_bytes: int, scale: float = 1.0
+):
+    """BC: one pass over KDD12-like data + heavy aggregation.
+
+    The cached data largely fits on-heap, so TeraHeap's S/D savings are
+    small here (the paper measures only 2%); the benefit is GC relief.
+    """
+    points = ctx.range_rdd(
+        dataset_bytes, chunk_size=LARGE_BATCH, name="bc-points"
+    ).persist()
+    points.evaluate()
+    for _ in range(max(1, int(2 * scale))):
+        points.foreach_cached(80)
+        ctx.shuffle(int(dataset_bytes * 0.25))
+
+
+def run_kmeans(ctx: SparkContext, dataset_bytes: int, scale: float = 1.0):
+    """KM: Lloyd iterations (appears in the Panthera comparison only)."""
+    _train(
+        ctx,
+        dataset_bytes,
+        epochs=max(2, int(10 * scale)),
+        ops_per_chunk=144,
+        aggregate_bytes=128 * KiB,
+        name="km",
+    )

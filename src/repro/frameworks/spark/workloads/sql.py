@@ -1,0 +1,32 @@
+"""The SQL RDD-Relational (RL) workload: scan, filter, join, aggregate."""
+
+from __future__ import annotations
+
+from ....units import KiB
+from ..context import SparkContext
+from .mllib import LARGE_BATCH
+
+
+def run_rdd_relational(
+    ctx: SparkContext, dataset_bytes: int, scale: float = 1.0
+):
+    """RL: relational pipeline over a cached filtered table.
+
+    Large row batches (humongous under G1) and join shuffles; the filtered
+    table is cached and re-joined several times.
+    """
+    table = ctx.range_rdd(
+        dataset_bytes, chunk_size=LARGE_BATCH, name="rl-table"
+    )
+    filtered = table.map(
+        ops_per_chunk=64, size_factor=0.7, name="rl-filtered"
+    ).persist()
+    filtered.evaluate()
+    passes = max(2, int(4 * scale))
+    for round_id in range(passes):
+        joined = filtered.map(
+            ops_per_chunk=128, size_factor=0.5, name=f"rl-join-{round_id}"
+        )
+        joined.evaluate()
+        ctx.shuffle(int(dataset_bytes * 0.3))  # join exchange
+        ctx.shuffle(int(dataset_bytes * 0.12))  # group-by aggregation

@@ -1,0 +1,24 @@
+"""Garbage collectors.
+
+- :mod:`.parallel_scavenge` — Parallel Scavenge (the collector TeraHeap
+  extends; Section 4), with a jdk8 flavour (single-threaded old-gen
+  collection) and the optimised jdk11 flavour used in Figure 8.
+- :mod:`.g1` — a Garbage-First model with humongous-object fragmentation,
+  the OpenJDK17 baseline of Figure 8.
+- :mod:`.panthera` — the hybrid DRAM/NVM collector baseline of
+  Figure 12(c).
+"""
+
+from .base import Collector, GCCycle, GCStats
+from .g1 import G1Collector
+from .panthera import PantheraCollector
+from .parallel_scavenge import ParallelScavenge
+
+__all__ = [
+    "Collector",
+    "G1Collector",
+    "GCCycle",
+    "GCStats",
+    "PantheraCollector",
+    "ParallelScavenge",
+]

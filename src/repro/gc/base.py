@@ -1,0 +1,82 @@
+"""Collector interface and GC statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class GCCycle:
+    """One GC cycle's record, feeding Figures 7 and 11(b)."""
+
+    kind: str  # "minor" | "major"
+    start_time: float
+    duration: float
+    live_bytes: int = 0
+    reclaimed_bytes: int = 0
+    promoted_bytes: int = 0
+    moved_to_h2_bytes: int = 0
+    old_occupancy_after: float = 0.0
+    #: major-GC phase durations: marking / precompact / adjust / compact
+    phases: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class GCStats:
+    """Aggregated collector statistics."""
+
+    cycles: List[GCCycle] = field(default_factory=list)
+
+    def record(self, cycle: GCCycle) -> None:
+        self.cycles.append(cycle)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for c in self.cycles if c.kind == kind)
+
+    def total_time(self, kind: str) -> float:
+        return sum(c.duration for c in self.cycles if c.kind == kind)
+
+    def mean_time(self, kind: str) -> float:
+        n = self.count(kind)
+        return self.total_time(kind) / n if n else 0.0
+
+    def phase_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for cycle in self.cycles:
+            for phase, duration in cycle.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + duration
+        return totals
+
+    @property
+    def minor_count(self) -> int:
+        return self.count("minor")
+
+    @property
+    def major_count(self) -> int:
+        return self.count("major")
+
+
+class Collector:
+    """Base collector: subclasses implement ``minor_gc`` and ``major_gc``.
+
+    The VM calls ``minor_gc`` when eden fills and ``major_gc`` when the
+    heap cannot satisfy promotion or allocation.
+    """
+
+    name = "collector"
+
+    def __init__(self) -> None:
+        self.stats = GCStats()
+        self.mark_epoch = 0
+
+    def next_epoch(self) -> int:
+        self.mark_epoch += 1
+        return self.mark_epoch
+
+    # -- interface ------------------------------------------------------
+    def minor_gc(self) -> GCCycle:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def major_gc(self) -> GCCycle:  # pragma: no cover - interface
+        raise NotImplementedError

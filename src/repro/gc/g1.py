@@ -1,0 +1,471 @@
+"""Garbage-First (G1) collector model — the OpenJDK17 baseline of Figure 8.
+
+G1 divides the heap into equal regions and collects the regions with the
+least live data first.  Young collections evacuate eden/survivor regions;
+mixed collections additionally evacuate the emptiest old regions after a
+(mostly concurrent) marking cycle.
+
+Humongous objects — larger than half a region — are allocated in
+contiguous runs of dedicated regions, one object per run, and are never
+moved.  The slack between the object's end and its last region's end is
+wasted, and the contiguity requirement fragments the region space; the
+paper observes SVM, BC and RL failing with OOM for exactly this reason
+(Section 7.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Set
+
+from ..clock import Bucket, Clock
+from ..config import VMConfig
+from ..errors import OutOfMemoryError
+from ..heap.heap import H1_BASE
+from ..heap.object_model import HeapObject, SpaceId
+from ..heap.roots import RootSet
+from .base import Collector, GCCycle
+from .parallel_scavenge import parallel_factor
+
+
+class RegionState(enum.Enum):
+    FREE = "free"
+    EDEN = "eden"
+    SURVIVOR = "survivor"
+    OLD = "old"
+    HUMONGOUS_START = "humongous_start"
+    HUMONGOUS_CONT = "humongous_cont"
+
+_YOUNG_STATES = (RegionState.EDEN, RegionState.SURVIVOR)
+
+
+class G1Region:
+    """One G1 heap region."""
+
+    __slots__ = ("index", "base", "size", "state", "top", "objects")
+
+    def __init__(self, index: int, base: int, size: int):
+        self.index = index
+        self.base = base
+        self.size = size
+        self.state = RegionState.FREE
+        self.top = base
+        self.objects: List[HeapObject] = []
+
+    @property
+    def used(self) -> int:
+        return self.top - self.base
+
+    @property
+    def free_space(self) -> int:
+        return self.size - self.used
+
+    def allocate(self, obj: HeapObject) -> bool:
+        if obj.size > self.free_space:
+            return False
+        obj.address = self.top
+        obj.region_id = self.index
+        self.top += obj.size
+        self.objects.append(obj)
+        return True
+
+    def reset(self) -> None:
+        self.state = RegionState.FREE
+        self.top = self.base
+        self.objects = []
+
+
+class G1Heap:
+    """Region-structured heap with humongous allocation."""
+
+    def __init__(self, config: VMConfig):
+        self.config = config
+        self.region_size = config.g1.region_size
+        self.num_regions = max(config.heap_size // self.region_size, 4)
+        self.regions = [
+            G1Region(i, H1_BASE + i * self.region_size, self.region_size)
+            for i in range(self.num_regions)
+        ]
+        self.young_target = max(2, int(self.num_regions * config.young_fraction))
+        self._current_eden: Optional[G1Region] = None
+        self.allocated_objects = 0
+        self.allocated_bytes = 0
+        self.humongous_allocations = 0
+        self.humongous_waste = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.num_regions * self.region_size
+
+    def used(self) -> int:
+        return sum(
+            r.size if r.state is RegionState.HUMONGOUS_CONT else r.used
+            for r in self.regions
+            if r.state is not RegionState.FREE
+        )
+
+    def free_regions(self) -> List[G1Region]:
+        return [r for r in self.regions if r.state is RegionState.FREE]
+
+    def young_regions(self) -> List[G1Region]:
+        return [r for r in self.regions if r.state in _YOUNG_STATES]
+
+    def old_regions(self) -> List[G1Region]:
+        return [r for r in self.regions if r.state is RegionState.OLD]
+
+    def take_free_region(self, state: RegionState) -> Optional[G1Region]:
+        for region in self.regions:
+            if region.state is RegionState.FREE:
+                region.state = state
+                return region
+        return None
+
+    def is_humongous(self, size: int) -> bool:
+        return size > self.region_size // 2
+
+    # ------------------------------------------------------------------
+    def try_allocate(self, obj: HeapObject) -> bool:
+        if self.is_humongous(obj.size):
+            return self._allocate_humongous(obj)
+        region = self._current_eden
+        if region is None or not region.allocate(obj):
+            # The eden budget counts eden regions only; survivor regions
+            # are sized by the previous collection's survivors.
+            eden_count = sum(
+                1 for r in self.regions if r.state is RegionState.EDEN
+            )
+            if eden_count >= self.young_target:
+                return False
+            region = self.take_free_region(RegionState.EDEN)
+            if region is None:
+                return False
+            self._current_eden = region
+            if not region.allocate(obj):
+                return False
+        obj.space = SpaceId.EDEN
+        self.allocated_objects += 1
+        self.allocated_bytes += obj.size
+        return True
+
+    def _allocate_humongous(self, obj: HeapObject) -> bool:
+        """First-fit contiguous run of free regions; never relocated.
+
+        Each humongous object owns its whole run: the final region's slack
+        is unusable — the fragmentation source behind the paper's G1 OOMs.
+        """
+        needed = -(-obj.size // self.region_size)
+        run_start = None
+        run_len = 0
+        for region in self.regions:
+            if region.state is RegionState.FREE:
+                if run_start is None:
+                    run_start = region.index
+                run_len += 1
+                if run_len == needed:
+                    break
+            else:
+                run_start = None
+                run_len = 0
+        if run_start is None or run_len < needed:
+            return False
+        head = self.regions[run_start]
+        head.state = RegionState.HUMONGOUS_START
+        head.objects = [obj]
+        head.top = head.base + min(obj.size, head.size)
+        for i in range(run_start + 1, run_start + needed):
+            cont = self.regions[i]
+            cont.state = RegionState.HUMONGOUS_CONT
+            cont.top = cont.base + cont.size
+        obj.address = head.base
+        obj.region_id = head.index
+        obj.space = SpaceId.OLD
+        self.humongous_allocations += 1
+        self.humongous_waste += needed * self.region_size - obj.size
+        self.allocated_objects += 1
+        self.allocated_bytes += obj.size
+        return True
+
+    def free_humongous_run(self, head: G1Region) -> None:
+        obj = head.objects[0] if head.objects else None
+        needed = (
+            -(-obj.size // self.region_size) if obj is not None else 1
+        )
+        for i in range(head.index, head.index + needed):
+            self.regions[i].reset()
+
+    def all_objects(self) -> List[HeapObject]:
+        out: List[HeapObject] = []
+        for region in self.regions:
+            out.extend(region.objects)
+        return out
+
+
+class G1WriteBarrier:
+    """G1's post-write barrier: dirties the source's remembered-set entry.
+
+    G1's barrier is substantially heavier than PS's card mark (it filters,
+    enqueues and refines); we model it as 3x the PS barrier cost.
+    """
+
+    def __init__(self, collector: "G1Collector", clock: Clock, cost):
+        self.collector = collector
+        self.clock = clock
+        self.cost = cost
+        self.barrier_count = 0
+
+    def on_reference_store(self, src: HeapObject, target) -> None:
+        self.barrier_count += 1
+        self.clock.charge(self.cost.barrier_cost * 3)
+        if src.space is SpaceId.OLD and target is not None and target.in_young:
+            self.collector.remset_sources.add(src.oid)
+            self.collector.remset_objects[src.oid] = src
+
+
+class G1Collector(Collector):
+    """Young + mixed collections with a full-GC fallback."""
+
+    name = "g1"
+
+    def __init__(
+        self, heap: G1Heap, roots: RootSet, clock: Clock, config: VMConfig
+    ):
+        super().__init__()
+        self.heap = heap
+        self.roots = roots
+        self.clock = clock
+        self.config = config
+        self.cost = config.cost
+        #: approximate remembered set: old objects that gained young refs
+        self.remset_sources: Set[int] = set()
+        self.remset_objects: Dict[int, HeapObject] = {}
+        # G1 parallel GC threads (the paper configures 8).
+        self._parallel = parallel_factor(min(config.gc_threads, 8))
+        self.full_collections = 0
+
+    # ------------------------------------------------------------------
+    def _trace_young(self, epoch: int) -> List[HeapObject]:
+        cost = self.cost
+        work = 0.0
+        stack = [o for o in self.roots if o.in_young]
+        for oid in list(self.remset_sources):
+            src = self.remset_objects.get(oid)
+            if src is None or src.space is not SpaceId.OLD:
+                self.remset_sources.discard(oid)
+                self.remset_objects.pop(oid, None)
+                continue
+            work += cost.gc_visit_cost
+            has_young = False
+            for ref in src.refs:
+                work += cost.gc_ref_cost
+                if ref.in_young:
+                    has_young = True
+                    stack.append(ref)
+            if not has_young:
+                # Precise cleaning: the entry carries no young refs.
+                self.remset_sources.discard(oid)
+                self.remset_objects.pop(oid, None)
+        live: List[HeapObject] = []
+        while stack:
+            obj = stack.pop()
+            if obj.mark_epoch >= epoch or not obj.in_young:
+                continue
+            obj.mark_epoch = epoch
+            live.append(obj)
+            work += cost.gc_visit_cost * obj.scan_factor
+            for ref in obj.refs:
+                work += cost.gc_ref_cost
+                if ref.in_young and ref.mark_epoch < epoch:
+                    stack.append(ref)
+        self.clock.charge(work / self._parallel)
+        return live
+
+    def _evacuate(
+        self, objects: List[HeapObject], state: RegionState
+    ) -> bool:
+        """Copy ``objects`` into fresh regions of ``state``."""
+        cost = self.cost
+        target = self.heap.take_free_region(state)
+        if target is None and objects:
+            return False
+        copy_bytes = 0
+        for obj in objects:
+            while target is not None and not target.allocate(obj):
+                target = self.heap.take_free_region(state)
+            if target is None:
+                return False
+            obj.space = (
+                SpaceId.EDEN if state in _YOUNG_STATES else SpaceId.OLD
+            )
+            copy_bytes += obj.size
+        self.clock.charge(copy_bytes / cost.gc_copy_bw / self._parallel)
+        return True
+
+    # ------------------------------------------------------------------
+    def minor_gc(self) -> GCCycle:
+        heap = self.heap
+        start = self.clock.now
+        with self.clock.context(Bucket.MINOR_GC):
+            epoch = self.next_epoch()
+            live = self._trace_young(epoch)
+            young = heap.young_regions()
+            for region in young:
+                for obj in region.objects:
+                    if obj.mark_epoch < epoch:
+                        obj.space = SpaceId.FREED
+                region.reset()
+            heap._current_eden = None
+            survivors = [o for o in live if o.age + 1 < self.config.tenuring_threshold]
+            promoted = [o for o in live if o.age + 1 >= self.config.tenuring_threshold]
+            for obj in live:
+                obj.age += 1
+            ok = self._evacuate(survivors, RegionState.SURVIVOR)
+            ok = ok and self._evacuate(promoted, RegionState.OLD)
+            # Promotion creates old-to-young references no barrier saw;
+            # real G1 updates remembered sets during evacuation.
+            for obj in promoted:
+                if any(r.in_young for r in obj.refs):
+                    self.remset_sources.add(obj.oid)
+                    self.remset_objects[obj.oid] = obj
+            if not ok:
+                # Evacuation failure: fall back to a full collection.
+                self.clock.record_event("evacuation_failure", 0.0)
+                self._full_collection()
+            duration = self.clock.now - start
+            cycle = GCCycle(
+                kind="minor",
+                start_time=start,
+                duration=duration,
+                live_bytes=sum(o.size for o in live),
+                promoted_bytes=sum(o.size for o in promoted),
+            )
+            self.stats.record(cycle)
+            self.clock.record_event("minor_gc", duration)
+            return cycle
+
+    # ------------------------------------------------------------------
+    def _mark_all(self, epoch: int) -> List[HeapObject]:
+        """Concurrent marking: CPU cost partially hidden behind mutators."""
+        cost = self.cost
+        work = 0.0
+        stack = [o for o in self.roots if o.space is not SpaceId.FREED]
+        live: List[HeapObject] = []
+        while stack:
+            obj = stack.pop()
+            if obj.mark_epoch >= epoch:
+                continue
+            obj.mark_epoch = epoch
+            live.append(obj)
+            work += cost.gc_visit_cost * obj.scan_factor
+            for ref in obj.refs:
+                work += cost.gc_ref_cost
+                if ref.mark_epoch < epoch:
+                    stack.append(ref)
+        # Roughly half the marking runs concurrently with the application
+        # (the paper's configuration: concurrent threads = parallel / 4).
+        self.clock.charge(work * 0.5 / self._parallel)
+        return live
+
+    def major_gc(self) -> GCCycle:
+        """A marking cycle followed by mixed evacuation."""
+        heap = self.heap
+        start = self.clock.now
+        with self.clock.context(Bucket.MAJOR_GC):
+            epoch = self.next_epoch()
+            live = self._mark_all(epoch)
+            live_bytes = sum(o.size for o in live)
+
+            # Free dead humongous runs eagerly (no copying needed).
+            for region in heap.regions:
+                if region.state is RegionState.HUMONGOUS_START:
+                    obj = region.objects[0]
+                    if obj.mark_epoch < epoch:
+                        obj.space = SpaceId.FREED
+                        heap.free_humongous_run(region)
+
+            # Garbage-first: evacuate the old regions with least live data.
+            candidates = []
+            for region in heap.old_regions():
+                region_live = [
+                    o for o in region.objects if o.mark_epoch >= epoch
+                ]
+                candidates.append((sum(o.size for o in region_live), region, region_live))
+            candidates.sort(key=lambda item: item[0])
+            budget = int(
+                heap.capacity * self.config.g1.mixed_collection_fraction
+            )
+            taken = 0
+            for region_live_bytes, region, region_live in candidates:
+                if taken >= budget:
+                    break
+                taken += region.size
+                for obj in region.objects:
+                    if obj.mark_epoch < epoch:
+                        obj.space = SpaceId.FREED
+                region.reset()
+                if not self._evacuate(region_live, RegionState.OLD):
+                    self._full_collection()
+                    break
+            duration = self.clock.now - start
+            cycle = GCCycle(
+                kind="major",
+                start_time=start,
+                duration=duration,
+                live_bytes=live_bytes,
+            )
+            self.stats.record(cycle)
+            self.clock.record_event("major_gc", duration)
+            return cycle
+
+    # ------------------------------------------------------------------
+    def _full_collection(self) -> None:
+        """Last-resort full compaction (humongous objects still unmovable)."""
+        heap = self.heap
+        self.full_collections += 1
+        epoch = self.next_epoch()
+        cost = self.cost
+        work = 0.0
+        stack = [o for o in self.roots if o.space is not SpaceId.FREED]
+        live: List[HeapObject] = []
+        while stack:
+            obj = stack.pop()
+            if obj.mark_epoch >= epoch:
+                continue
+            obj.mark_epoch = epoch
+            live.append(obj)
+            work += cost.gc_visit_cost + cost.gc_ref_cost * len(obj.refs)
+            stack.extend(r for r in obj.refs if r.mark_epoch < epoch)
+        # Compact every non-humongous live object into fresh old regions.
+        movable = []
+        for region in heap.regions:
+            if region.state in (
+                RegionState.HUMONGOUS_START,
+                RegionState.HUMONGOUS_CONT,
+            ):
+                if (
+                    region.state is RegionState.HUMONGOUS_START
+                    and region.objects
+                    and region.objects[0].mark_epoch < epoch
+                ):
+                    region.objects[0].space = SpaceId.FREED
+                    heap.free_humongous_run(region)
+                continue
+            for obj in region.objects:
+                if obj.mark_epoch >= epoch:
+                    movable.append(obj)
+                else:
+                    obj.space = SpaceId.FREED
+            region.reset()
+        heap._current_eden = None
+        self.clock.charge(work / self._parallel)
+        self.clock.charge(
+            sum(o.size for o in movable) / cost.gc_copy_bw / self._parallel
+        )
+        if not self._evacuate(movable, RegionState.OLD):
+            raise OutOfMemoryError(
+                "G1 full collection cannot fit live data "
+                "(humongous fragmentation)",
+                requested=sum(o.size for o in movable),
+            )
+        self.remset_sources.clear()
+        self.remset_objects.clear()

@@ -1,0 +1,453 @@
+"""Parallel Scavenge: copying minor GC + four-phase mark-compact major GC.
+
+Models the OpenJDK8 PS collector the paper extends (Section 4):
+
+- **Minor GC** scavenges eden + from-space, using the root set, dirty H1
+  cards (old-to-young references) and — under TeraHeap — backward
+  references found in the H2 card table.  Survivors copy to to-space or
+  promote to the old generation.
+- **Major GC** runs marking, pre-compaction (forwarding-address
+  assignment), pointer adjustment and compaction.  TeraHeap extends every
+  phase via the hook methods this class exposes.
+
+Costs: CPU work (visits, reference follows, card checks, copying) is
+accumulated locally and charged once, divided by the effective GC-thread
+parallelism; device I/O charges the clock directly (bandwidth is not
+divisible by threads).  OpenJDK8 PS collects the old generation
+single-threaded (Section 6), so major-GC CPU work is *not* divided; the
+"ps11" flavour models the optimised jdk11 collector with partial
+old-generation parallelism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..clock import Bucket, Clock
+from ..config import VMConfig
+from ..errors import OutOfMemoryError
+from ..heap.heap import ManagedHeap
+from ..heap.object_model import HeapObject, SpaceId
+from ..heap.roots import RootSet
+from .base import Collector, GCCycle
+
+
+class PromotionFailure(Exception):
+    """Internal: a scavenge could not promote; the VM must run a full GC."""
+
+
+def parallel_factor(threads: int) -> float:
+    """Effective speedup from ``threads`` GC threads (sub-linear)."""
+    return max(1.0, threads ** 0.8)
+
+
+class ParallelScavenge(Collector):
+    """The PS collector over a :class:`ManagedHeap`."""
+
+    name = "ps"
+    #: extra major-GC CPU parallelism of the jdk11 variant
+    major_parallelism = 1.0
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        roots: RootSet,
+        clock: Clock,
+        config: VMConfig,
+    ):
+        super().__init__()
+        self.heap = heap
+        self.roots = roots
+        self.clock = clock
+        self.config = config
+        self.cost = config.cost
+        self._minor_parallel = parallel_factor(config.gc_threads)
+
+    # ==================================================================
+    # TeraHeap hook points (no-ops in plain PS)
+    # ==================================================================
+    def is_fenced(self, obj: HeapObject) -> bool:
+        """True when traversal must not cross into ``obj`` (H2 residents)."""
+        return obj.space in (SpaceId.H2, SpaceId.FREED)
+
+    def on_mark_visit(self, obj: HeapObject) -> None:
+        """Per-object hook during major marking (Panthera charges NVM I/O)."""
+
+    def on_compact_move(self, obj: HeapObject) -> None:
+        """Per-object hook during compaction (Panthera charges NVM I/O)."""
+
+    def on_minor_copy(self, obj: HeapObject) -> None:
+        """Per-object hook during scavenge copying (memory-mode charges)."""
+
+    def on_forward_reference(self, target: HeapObject) -> None:
+        """Called for each H1-to-H2 edge found during major marking."""
+
+    def minor_h2_roots(self) -> List[HeapObject]:
+        """Young H1 objects kept alive by H2 backward references."""
+        return []
+
+    def minor_h2_post_copy(self, relocated: Set[int]) -> None:
+        """Reclassify/adjust H2 cards after the copy phase."""
+
+    def pre_major_mark(self) -> None:
+        """Reset H2 region live bits (start of marking)."""
+
+    def major_h2_roots(self) -> List[HeapObject]:
+        """H1 objects referenced from H2, via the H2 card table."""
+        return []
+
+    def select_h2_movers(
+        self, live: List[HeapObject], live_bytes: int, epoch: int
+    ) -> "List[Tuple[HeapObject, str]]":
+        """Choose (object, label) pairs to transfer to H2 this GC."""
+        return []
+
+    def after_marking(self, epoch: int) -> None:
+        """Free dead H2 regions (end of marking)."""
+
+    def assign_h2_addresses(
+        self, movers: "List[Tuple[HeapObject, str]]", epoch: int
+    ) -> None:
+        """Pre-compaction for movers: pick region + address per object."""
+
+    def adjust_mover_references(
+        self, movers: "List[Tuple[HeapObject, str]]", stayers: Set[int]
+    ) -> None:
+        """Record new cross-region and backward references for movers."""
+
+    def adjust_h2_backward_refs(self) -> None:
+        """Rewrite H2-resident backward references to new H1 locations."""
+
+    def compact_movers(self, movers: "List[Tuple[HeapObject, str]]") -> None:
+        """Write movers to the device through promotion buffers."""
+
+    # ==================================================================
+    # Minor GC
+    # ==================================================================
+    def minor_gc(self) -> GCCycle:
+        heap = self.heap
+        cost = self.cost
+        start = self.clock.now
+        with self.clock.context(Bucket.MINOR_GC):
+            epoch = self.next_epoch()
+            self.clock.charge(cost.gc_pause_overhead)
+            work = 0.0
+
+            # --- Roots: explicit roots + dirty-card old objects + H2 ----
+            roots: List[HeapObject] = []
+            for obj in self.roots:
+                if obj.in_young:
+                    roots.append(obj)
+            work += cost.card_check_cost * heap.card_table.num_cards
+            scanned_cards: List[Tuple[int, List[HeapObject]]] = []
+            for card in heap.card_table.dirty_cards():
+                lo, hi = heap.card_table.card_range(card)
+                on_card = heap.old.objects_overlapping(lo, hi)
+                scanned_cards.append((card, on_card))
+                for old_obj in on_card:
+                    work += cost.gc_visit_cost
+                    for ref in old_obj.refs:
+                        work += cost.gc_ref_cost
+                        if ref.in_young:
+                            roots.append(ref)
+            h2_roots = self.minor_h2_roots()
+            roots.extend(h2_roots)
+
+            # --- Trace live young objects -------------------------------
+            live_young: List[HeapObject] = []
+            stack = [o for o in roots if o.in_young]
+            while stack:
+                obj = stack.pop()
+                if obj.mark_epoch >= epoch:
+                    continue
+                obj.mark_epoch = epoch
+                live_young.append(obj)
+                work += cost.gc_visit_cost * obj.scan_factor
+                for ref in obj.refs:
+                    work += cost.gc_ref_cost
+                    if ref.in_young and ref.mark_epoch < epoch:
+                        stack.append(ref)
+                    # Old-gen and H2 targets are not traversed in a
+                    # scavenge; H2 targets are additionally fenced.
+
+            # --- Copy phase ----------------------------------------------
+            to_space = heap.survivor_to
+            promote: List[HeapObject] = []
+            survivors: List[HeapObject] = []
+            copy_bytes = 0
+            planned_survivor_bytes = 0
+            for obj in live_young:
+                obj.age += 1
+                if (
+                    obj.age < self.config.tenuring_threshold
+                    and planned_survivor_bytes + obj.size <= to_space.capacity
+                ):
+                    survivors.append(obj)
+                    planned_survivor_bytes += obj.size
+                else:
+                    promote.append(obj)
+            if sum(o.size for o in promote) > heap.old.free:
+                # Promotion failure: abandon the scavenge, caller runs a
+                # full collection instead.
+                self.clock.charge(work / self._minor_parallel)
+                raise PromotionFailure()
+
+            dead = [
+                o
+                for o in heap.eden.objects + heap.survivor_from.objects
+                if o.mark_epoch < epoch
+            ]
+            reclaimed = sum(o.size for o in dead)
+            for obj in dead:
+                obj.space = SpaceId.FREED
+
+            heap.eden.reset()
+            heap.survivor_from.reset()
+            to_space.reset()
+            relocated: Set[int] = set()
+            for obj in survivors:
+                if not to_space.allocate(obj):
+                    promote.append(obj)
+                    continue
+                copy_bytes += obj.size
+                relocated.add(obj.oid)
+                self.on_minor_copy(obj)
+            promoted_bytes = 0
+            for obj in promote:
+                if not heap.old.allocate(obj):
+                    self.clock.charge(work / self._minor_parallel)
+                    raise PromotionFailure()
+                copy_bytes += obj.size
+                promoted_bytes += obj.size
+                relocated.add(obj.oid)
+                self.on_minor_copy(obj)
+            heap.swap_survivors()
+
+            # --- Card maintenance ---------------------------------------
+            # Precise cleaning: a scanned card stays dirty only if its
+            # objects still reference young objects; promoted objects that
+            # reference young survivors dirty their new cards.
+            for card, on_card in scanned_cards:
+                # A scanned card stays dirty while any object overlapping
+                # it still references a young object (scans re-trace the
+                # full reference set of every overlapping object, so the
+                # card itself is the right thing to keep dirty — marking
+                # the first object's header card instead would lose
+                # coverage when objects span card boundaries).
+                if any(
+                    any(r.in_young for r in old_obj.refs)
+                    for old_obj in on_card
+                ):
+                    continue
+                heap.card_table.clear(card)
+            for obj in promote:
+                if any(r.in_young for r in obj.refs):
+                    heap.card_table.mark(obj.address)
+
+            self.minor_h2_post_copy(relocated)
+
+            work += copy_bytes / cost.gc_copy_bw
+            self.clock.charge(work / self._minor_parallel)
+
+            duration = self.clock.now - start
+            cycle = GCCycle(
+                kind="minor",
+                start_time=start,
+                duration=duration,
+                live_bytes=sum(o.size for o in live_young),
+                reclaimed_bytes=reclaimed,
+                promoted_bytes=promoted_bytes,
+                old_occupancy_after=heap.old.occupancy,
+            )
+            self.stats.record(cycle)
+            self.clock.record_event("minor_gc", duration)
+            return cycle
+
+    # ==================================================================
+    # Major GC
+    # ==================================================================
+    def major_gc(self) -> GCCycle:
+        heap = self.heap
+        cost = self.cost
+        start = self.clock.now
+        phases: Dict[str, float] = {}
+        with self.clock.context(Bucket.MAJOR_GC):
+            epoch = self.next_epoch()
+            self.clock.charge(cost.gc_pause_overhead)
+
+            # ---------------- Phase 1: marking --------------------------
+            t0 = self.clock.now
+            with self.clock.sub_context("marking"):
+                work = 0.0
+                self.pre_major_mark()
+                stack: List[HeapObject] = []
+                for obj in self.roots:
+                    if obj.in_h1:
+                        stack.append(obj)
+                    elif self.is_fenced(obj):
+                        # Stack/static roots referencing H2 directly count
+                        # as forward references: they pin the region.
+                        self.on_forward_reference(obj)
+                stack.extend(self.major_h2_roots())
+                live: List[HeapObject] = []
+                while stack:
+                    obj = stack.pop()
+                    if obj.mark_epoch >= epoch or not obj.in_h1:
+                        continue
+                    obj.mark_epoch = epoch
+                    live.append(obj)
+                    work += cost.gc_visit_cost * obj.scan_factor
+                    self.on_mark_visit(obj)
+                    for ref in obj.refs:
+                        work += cost.gc_ref_cost
+                        if self.is_fenced(ref):
+                            # Fence: never cross from H1 into H2.
+                            self.on_forward_reference(ref)
+                            continue
+                        if ref.mark_epoch < epoch:
+                            stack.append(ref)
+                live_bytes = sum(o.size for o in live)
+                movers = self.select_h2_movers(live, live_bytes, epoch)
+                self.after_marking(epoch)
+                self.clock.charge(work / self.major_parallelism)
+            phases["marking"] = self.clock.now - t0
+
+            mover_ids = {obj.oid for obj, _ in movers}
+            # Sliding compaction: preserve address order so the stable
+            # prefix of long-lived data (e.g. the cached partitions at the
+            # bottom of the old gen) is not rewritten every major GC.
+            space_rank = {
+                SpaceId.OLD: 0,
+                SpaceId.EDEN: 1,
+                SpaceId.FROM: 2,
+                SpaceId.TO: 3,
+            }
+            stayers = sorted(
+                (o for o in live if o.oid not in mover_ids),
+                key=lambda o: (space_rank.get(o.space, 4), o.address),
+            )
+
+            # ---------------- Phase 2: pre-compaction -------------------
+            t0 = self.clock.now
+            with self.clock.sub_context("precompact"):
+                work = cost.gc_forward_cost * len(live)
+                total_stay = sum(o.size for o in stayers)
+                if total_stay > heap.old.capacity + heap.eden.capacity:
+                    raise OutOfMemoryError(
+                        "live data exceeds heap after full GC",
+                        requested=total_stay,
+                        available=heap.old.capacity + heap.eden.capacity,
+                    )
+                old_cursor = heap.old.base
+                eden_cursor = heap.eden.base
+                in_old: List[HeapObject] = []
+                in_eden: List[HeapObject] = []
+                for obj in stayers:
+                    if old_cursor + obj.size <= heap.old.end:
+                        obj.forward_address = old_cursor
+                        obj.forward_space = SpaceId.OLD
+                        old_cursor += obj.size
+                        in_old.append(obj)
+                    else:
+                        obj.forward_address = eden_cursor
+                        obj.forward_space = SpaceId.EDEN
+                        eden_cursor += obj.size
+                        in_eden.append(obj)
+                self.assign_h2_addresses(movers, epoch)
+                self.clock.charge(work / self.major_parallelism)
+            phases["precompact"] = self.clock.now - t0
+
+            # ---------------- Phase 3: pointer adjustment ---------------
+            t0 = self.clock.now
+            with self.clock.sub_context("adjust"):
+                work = 0.0
+                for obj in live:
+                    work += cost.gc_visit_cost
+                    work += cost.gc_ref_cost * len(obj.refs)
+                stayer_ids = {o.oid for o in stayers}
+                # Backward-reference maintenance first: it reclassifies the
+                # cards scanned at marking time, and the mover adjustments
+                # that follow may dirty those same cards with *new*
+                # backward references that must not be clobbered.
+                self.adjust_h2_backward_refs()
+                self.adjust_mover_references(movers, stayer_ids)
+                self.clock.charge(work / self.major_parallelism)
+            phases["adjust"] = self.clock.now - t0
+
+            # ---------------- Phase 4: compaction ------------------------
+            t0 = self.clock.now
+            with self.clock.sub_context("compact"):
+                work = 0.0
+                for obj in in_old:
+                    moved = obj.address != obj.forward_address
+                    obj.address = obj.forward_address
+                    obj.space = SpaceId.OLD
+                    obj.forward_address = -1
+                    obj.forward_space = None
+                    if moved:
+                        work += obj.size / cost.gc_copy_bw
+                        self.on_compact_move(obj)
+                for obj in in_eden:
+                    moved = obj.address != obj.forward_address
+                    obj.address = obj.forward_address
+                    obj.space = SpaceId.EDEN
+                    obj.forward_address = -1
+                    obj.forward_space = None
+                    if moved:
+                        work += obj.size / cost.gc_copy_bw
+                self.compact_movers(movers)
+                self.clock.charge(work / self.major_parallelism)
+
+                # Install post-compaction space contents.
+                for space in (heap.eden, heap.survivor_from, heap.survivor_to):
+                    for obj in space.objects:
+                        if obj.mark_epoch < epoch:
+                            obj.space = SpaceId.FREED
+                dead_old = [
+                    o for o in heap.old.objects if o.mark_epoch < epoch
+                ]
+                for obj in dead_old:
+                    obj.space = SpaceId.FREED
+                heap.eden.reset()
+                heap.survivor_from.reset()
+                heap.survivor_to.reset()
+                heap.old.rebuild_after_compaction(in_old)
+                heap.eden.objects = in_eden
+                heap.eden.top = (
+                    in_eden[-1].end_address() if in_eden else heap.eden.base
+                )
+                # Card table: after a full GC only old objects referencing
+                # (overflowed) eden objects need dirty cards.
+                heap.card_table.clear_all()
+                if in_eden:
+                    for obj in in_old:
+                        if any(r.in_young for r in obj.refs):
+                            heap.card_table.mark(obj.address)
+            phases["compact"] = self.clock.now - t0
+
+            duration = self.clock.now - start
+            moved_bytes = sum(o.size for o, _ in movers)
+            cycle = GCCycle(
+                kind="major",
+                start_time=start,
+                duration=duration,
+                live_bytes=sum(o.size for o in live),
+                moved_to_h2_bytes=moved_bytes,
+                old_occupancy_after=heap.old.occupancy,
+                phases=phases,
+            )
+            self.stats.record(cycle)
+            self.clock.record_event("major_gc", duration)
+            return cycle
+
+
+class ParallelScavengeJDK11(ParallelScavenge):
+    """The optimised PS shipped with OpenJDK11 (Figure 8 baseline).
+
+    jdk11's PS collects the old generation with parallel compaction
+    (ParallelOld), which the paper's jdk8 configuration ran
+    single-threaded; we model that as partial major-GC parallelism.
+    """
+
+    name = "ps11"
+    major_parallelism = 2.2

@@ -1,0 +1,14 @@
+"""Managed-heap substrate: a JVM-like generational heap (H1).
+
+Models the OpenJDK heap TeraHeap extends: eden + two survivor spaces, an
+old generation, a 512 B card table with post-write barriers, and a root
+set.  Collectors live in :mod:`repro.gc`; the second heap in
+:mod:`repro.teraheap`.
+"""
+
+from .heap import ManagedHeap
+from .object_model import HeapObject, SpaceId
+from .roots import RootSet
+from .spaces import Space
+
+__all__ = ["HeapObject", "ManagedHeap", "RootSet", "Space", "SpaceId"]

@@ -1,0 +1,76 @@
+"""The H1 card table: dirty-card tracking for old-to-young references.
+
+The vanilla JVM divides the old generation into 512 B card segments with a
+byte per card; the post-write barrier dirties the card of any updated old
+object, and minor GC scans dirty cards for old-to-young roots (Section 2,
+Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Set, Tuple
+
+
+class CardTable:
+    """Card table over a contiguous address range.
+
+    Only non-clean cards are stored (a ``set``), matching the sparse access
+    pattern; the *size* of the conceptual table (``num_cards``) still
+    drives scan cost.
+    """
+
+    def __init__(self, base: int, size: int, card_size: int = 512):
+        if card_size <= 0:
+            raise ValueError("card size must be positive")
+        self.base = base
+        self.size = size
+        self.card_size = card_size
+        self.num_cards = (size + card_size - 1) // card_size
+        self._dirty: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def card_index(self, address: int) -> int:
+        if not self.base <= address < self.base + self.size:
+            raise ValueError(
+                f"address {address:#x} outside card table range "
+                f"[{self.base:#x}, +{self.size})"
+            )
+        return (address - self.base) // self.card_size
+
+    def card_range(self, index: int) -> Tuple[int, int]:
+        """Address range [lo, hi) covered by card ``index``."""
+        lo = self.base + index * self.card_size
+        return lo, min(lo + self.card_size, self.base + self.size)
+
+    # ------------------------------------------------------------------
+    def mark(self, address: int) -> None:
+        """Dirty the card covering ``address`` (post-write barrier)."""
+        self._dirty.add(self.card_index(address))
+
+    def mark_object(self, address: int, size: int) -> None:
+        """Dirty every card an object spans (object-start barriers vary;
+        spanning marks are the conservative choice)."""
+        first = self.card_index(address)
+        last = self.card_index(address + max(size, 1) - 1)
+        self._dirty.update(range(first, last + 1))
+
+    def is_dirty(self, index: int) -> bool:
+        return index in self._dirty
+
+    def clear(self, index: int) -> None:
+        self._dirty.discard(index)
+
+    def clear_all(self) -> None:
+        self._dirty.clear()
+
+    def dirty_cards(self) -> Iterator[int]:
+        """Dirty card indices in address order."""
+        return iter(sorted(self._dirty))
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def retain(self, indices: Iterable[int]) -> None:
+        """Keep only the given cards dirty (post-scan precise cleaning)."""
+        self._dirty = set(indices) & set(range(self.num_cards))

@@ -1,0 +1,130 @@
+"""The simulated Java object model.
+
+Each :class:`HeapObject` models one Java object: a header, a size, and
+outgoing references.  The header carries the extra eight-byte TeraHeap
+label word (Section 3.2) used by ``h2_tag_root`` — the paper chose a
+header field over side metadata to avoid re-tracking addresses every GC.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterable, List, Optional
+
+#: size of the TeraHeap label word added to every object header (Section 3.2)
+LABEL_WORD_SIZE = 8
+#: minimum plausible Java object size (header + one field)
+MIN_OBJECT_SIZE = 16
+
+
+class SpaceId(enum.Enum):
+    """Where an object currently lives."""
+
+    EDEN = "eden"
+    FROM = "from"
+    TO = "to"
+    OLD = "old"
+    H2 = "h2"
+    #: the object's H2 region was reclaimed; any access is a bug
+    FREED = "freed"
+
+
+_oid_counter = itertools.count(1)
+
+
+class HeapObject:
+    """One simulated Java object.
+
+    Attributes mirror what the JVM keeps in or derives from the object
+    header: mark/forwarding state, GC age, and the TeraHeap label.
+    """
+
+    __slots__ = (
+        "oid",
+        "size",
+        "refs",
+        "space",
+        "address",
+        "age",
+        "label",
+        "h2_candidate",
+        "region_id",
+        "mark_epoch",
+        "forward_address",
+        "forward_space",
+        "is_metadata",
+        "is_reference",
+        "serializable",
+        "scan_factor",
+        "name",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        refs: Optional[Iterable["HeapObject"]] = None,
+        name: str = "",
+        is_metadata: bool = False,
+        is_reference: bool = False,
+        serializable: bool = True,
+        scan_factor: float = 1.0,
+    ):
+        if size < MIN_OBJECT_SIZE:
+            raise ValueError(
+                f"object size {size} below minimum {MIN_OBJECT_SIZE}"
+            )
+        self.oid: int = next(_oid_counter)
+        self.size: int = size
+        self.refs: List[HeapObject] = list(refs) if refs else []
+        self.space: SpaceId = SpaceId.EDEN
+        self.address: int = -1
+        self.age: int = 0
+        #: TeraHeap label word; non-None marks the object (or a member of a
+        #: tagged transitive closure) as an H2 candidate
+        self.label: Optional[str] = None
+        #: set when the object has been selected for movement to H2
+        self.h2_candidate: bool = False
+        #: H2 region index once resident in H2 (or G1 region index)
+        self.region_id: int = -1
+        #: mark bit, implemented as the epoch of the last marking cycle so
+        #: marks never need explicit clearing
+        self.mark_epoch: int = 0
+        self.forward_address: int = -1
+        self.forward_space: Optional[SpaceId] = None
+        #: JVM metadata (class objects, class loaders) — excluded from the
+        #: H2 transitive closure (Section 3.2)
+        self.is_metadata: bool = is_metadata
+        #: java.lang.ref.Reference subclasses — also excluded (Section 3.2)
+        self.is_reference: bool = is_reference
+        #: whether Java serialization can handle this object (Section 2)
+        self.serializable: bool = serializable
+        #: GC scan-cost multiplier: a coarse simulated object standing for
+        #: many small paper-scale objects (e.g. triangle-counting wedges)
+        #: costs proportionally more to mark per byte
+        self.scan_factor: float = scan_factor
+        self.name: str = name
+
+    # ------------------------------------------------------------------
+    @property
+    def in_young(self) -> bool:
+        return self.space in (SpaceId.EDEN, SpaceId.FROM, SpaceId.TO)
+
+    @property
+    def in_h1(self) -> bool:
+        return self.space in (SpaceId.EDEN, SpaceId.FROM, SpaceId.TO, SpaceId.OLD)
+
+    @property
+    def in_h2(self) -> bool:
+        return self.space is SpaceId.H2
+
+    def end_address(self) -> int:
+        return self.address + self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" label={self.label!r}" if self.label else ""
+        name = f" {self.name}" if self.name else ""
+        return (
+            f"<HeapObject #{self.oid}{name} {self.size}B {self.space.value}"
+            f"@{self.address:#x}{tag}>"
+        )

@@ -1,0 +1,103 @@
+"""Heap spaces: contiguous address ranges with bump-pointer allocation."""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from .object_model import HeapObject, SpaceId
+
+
+class Space:
+    """A contiguous space: eden, a survivor, the old gen, or a G1 region.
+
+    Objects are placed with a bump pointer, so ``objects`` stays sorted by
+    address, which lets card scans locate the objects overlapping a card
+    segment with binary search — the same trick real card-table scanning
+    relies on (objects-per-card lookup via block-offset tables).
+    """
+
+    def __init__(self, space_id: SpaceId, base: int, capacity: int, name: str = ""):
+        if capacity < 0:
+            raise ConfigError(f"space capacity must be non-negative: {capacity}")
+        self.space_id = space_id
+        self.base = base
+        self.capacity = capacity
+        self.top = base
+        self.objects: List[HeapObject] = []
+        self.name = name or space_id.value
+        self._addr_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def used(self) -> int:
+        return self.top - self.base
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    @property
+    def occupancy(self) -> float:
+        return self.used / self.capacity if self.capacity else 1.0
+
+    @property
+    def end(self) -> int:
+        return self.base + self.capacity
+
+    def contains_address(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def has_room(self, size: int) -> bool:
+        return self.free >= size
+
+    # ------------------------------------------------------------------
+    def allocate(self, obj: HeapObject) -> bool:
+        """Bump-allocate ``obj``; returns False when the space is full."""
+        if not self.has_room(obj.size):
+            return False
+        obj.address = self.top
+        obj.space = self.space_id
+        self.top += obj.size
+        self.objects.append(obj)
+        self._addr_cache = None
+        return True
+
+    def reset(self) -> None:
+        """Empty the space (end of scavenge for eden/from-space)."""
+        self.top = self.base
+        self.objects.clear()
+        self._addr_cache = None
+
+    def live_bytes(self) -> int:
+        return sum(o.size for o in self.objects)
+
+    # ------------------------------------------------------------------
+    def objects_overlapping(self, lo: int, hi: int) -> List[HeapObject]:
+        """Objects whose extent intersects the address range [lo, hi)."""
+        if self._addr_cache is None:
+            self._addr_cache = [o.address for o in self.objects]
+        addrs = self._addr_cache
+        # First object that could overlap: the one starting at or before lo.
+        start = bisect_right(addrs, lo) - 1
+        if start < 0:
+            start = 0
+        result = []
+        for obj in self.objects[start : bisect_left(addrs, hi) + 1]:
+            if obj.address < hi and obj.end_address() > lo:
+                result.append(obj)
+        return result
+
+
+class OldGeneration(Space):
+    """The old generation, with an index of objects by card for barrier scans."""
+
+    def __init__(self, base: int, capacity: int):
+        super().__init__(SpaceId.OLD, base, capacity, name="old")
+
+    def rebuild_after_compaction(self, survivors: List[HeapObject]) -> None:
+        """Install the post-compaction object list (already address-sorted)."""
+        self.objects = survivors
+        self.top = survivors[-1].end_address() if survivors else self.base
+        self._addr_cache = None

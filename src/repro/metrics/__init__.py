@@ -1,0 +1,5 @@
+"""Result collection: execution-time breakdowns and per-run reports."""
+
+from .report import ExperimentResult, collect_result, normalize
+
+__all__ = ["ExperimentResult", "collect_result", "normalize"]

@@ -1,0 +1,95 @@
+"""Per-run experiment results, matching the paper's reporting.
+
+Each run yields an :class:`ExperimentResult` with the four-way execution
+time breakdown (other / S/D+I/O / minor GC / major GC), GC counts, and
+device traffic.  OOM runs carry ``oom=True`` and are rendered as the
+paper's missing bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..runtime import JavaVM
+
+
+@dataclass
+class ExperimentResult:
+    """One (workload, system, DRAM) cell of a paper figure."""
+
+    workload: str
+    system: str
+    dram_gb: float
+    heap_gb: float
+    total: float = 0.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    minor_gcs: int = 0
+    major_gcs: int = 0
+    oom: bool = False
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}/{self.system}@{self.dram_gb:g}GB"
+
+    def share(self, bucket: str) -> float:
+        if self.total <= 0:
+            return 0.0
+        return self.breakdown.get(bucket, 0.0) / self.total
+
+    def row(self, baseline_total: Optional[float] = None) -> str:
+        """One printable table row (normalised if a baseline is given)."""
+        if self.oom:
+            return f"{self.label:<32s}  OOM"
+        norm = self.total / baseline_total if baseline_total else 1.0
+        parts = "  ".join(
+            f"{k}={v / self.total:5.1%}" for k, v in self.breakdown.items()
+        )
+        return f"{self.label:<32s}  norm={norm:6.3f}  total={self.total:9.1f}s  {parts}"
+
+
+def collect_result(
+    vm: JavaVM,
+    workload: str,
+    system: str,
+    dram_gb: float,
+    heap_gb: float,
+    oom: bool = False,
+    extras: Optional[Dict[str, float]] = None,
+) -> ExperimentResult:
+    """Assemble a result from a finished (or OOMed) VM."""
+    breakdown = vm.breakdown()
+    result = ExperimentResult(
+        workload=workload,
+        system=system,
+        dram_gb=dram_gb,
+        heap_gb=heap_gb,
+        total=sum(breakdown.values()),
+        breakdown=breakdown,
+        minor_gcs=vm.collector.stats.minor_count,
+        major_gcs=vm.collector.stats.major_count,
+        oom=oom,
+        extras=dict(extras or {}),
+    )
+    if vm.h2 is not None:
+        result.extras.setdefault(
+            "h2_regions_allocated", vm.h2.regions_allocated_total
+        )
+        result.extras.setdefault("h2_regions_reclaimed", vm.h2.regions_reclaimed)
+        result.extras.setdefault("h2_bytes_moved", vm.h2.bytes_moved)
+        result.extras.setdefault(
+            "forward_refs_fenced",
+            getattr(vm.collector, "forward_refs_fenced", 0),
+        )
+    return result
+
+
+def normalize(results: List[ExperimentResult]) -> List[ExperimentResult]:
+    """Scale totals so the first non-OOM result is 1.0 (paper's plots)."""
+    baseline = next((r.total for r in results if not r.oom and r.total), None)
+    if not baseline:
+        return results
+    for r in results:
+        r.extras["normalized"] = (r.total / baseline) if not r.oom else float("nan")
+    return results

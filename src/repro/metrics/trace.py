@@ -1,0 +1,104 @@
+"""GC/execution trace export (CSV), the raw series behind the figures.
+
+The paper's artifact emits CSVs that its plotting scripts consume; this
+module provides the same: per-cycle GC records (Figure 7), the execution
+breakdown (Figures 6/8/12), and per-region liveness (Figure 10).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List
+
+from ..gc.base import GCCycle
+from ..runtime import JavaVM
+from ..teraheap.regions import RegionLiveness
+
+
+def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
+    """CSV of per-cycle GC records: the Figure 7 series."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(
+        [
+            "kind",
+            "start_time_s",
+            "duration_s",
+            "live_bytes",
+            "reclaimed_bytes",
+            "promoted_bytes",
+            "moved_to_h2_bytes",
+            "old_occupancy_after",
+            "marking_s",
+            "precompact_s",
+            "adjust_s",
+            "compact_s",
+        ]
+    )
+    for c in cycles:
+        writer.writerow(
+            [
+                c.kind,
+                f"{c.start_time:.6f}",
+                f"{c.duration:.6f}",
+                c.live_bytes,
+                c.reclaimed_bytes,
+                c.promoted_bytes,
+                c.moved_to_h2_bytes,
+                f"{c.old_occupancy_after:.4f}",
+                f"{c.phases.get('marking', 0.0):.6f}",
+                f"{c.phases.get('precompact', 0.0):.6f}",
+                f"{c.phases.get('adjust', 0.0):.6f}",
+                f"{c.phases.get('compact', 0.0):.6f}",
+            ]
+        )
+    return out.getvalue()
+
+
+def breakdown_csv(vm: JavaVM, label: str = "run") -> str:
+    """One-row CSV of the four-way execution-time breakdown."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    breakdown = vm.breakdown()
+    writer.writerow(["label", "total_s"] + list(breakdown))
+    writer.writerow(
+        [label, f"{vm.elapsed():.6f}"]
+        + [f"{v:.6f}" for v in breakdown.values()]
+    )
+    return out.getvalue()
+
+
+def region_liveness_csv(liveness: List[RegionLiveness]) -> str:
+    """CSV of per-region liveness: the Figure 10 CDF inputs."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(
+        [
+            "total_objects",
+            "live_objects",
+            "live_object_fraction",
+            "used_bytes",
+            "live_bytes",
+            "live_space_fraction",
+            "unused_fraction",
+        ]
+    )
+    for l in liveness:
+        writer.writerow(
+            [
+                l.total_objects,
+                l.live_objects,
+                f"{l.live_object_fraction:.4f}",
+                l.used_bytes,
+                l.live_bytes,
+                f"{l.live_space_fraction:.4f}",
+                f"{l.unused_fraction:.4f}",
+            ]
+        )
+    return out.getvalue()
+
+
+def write_csv(path: str, content: str) -> None:
+    with open(path, "w", newline="") as f:
+        f.write(content)

@@ -1,0 +1,313 @@
+"""The simulated JVM: the public API frameworks program against.
+
+``JavaVM`` wires together the managed heap (H1), the configured collector,
+the optional TeraHeap second heap (H2) over a storage device, the write
+barriers, and the simulated clock.  Frameworks allocate objects, update
+references and read objects exclusively through this facade, so every
+cost — allocation, barriers, GC, S/D, device I/O — is accounted.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .clock import Bucket, Clock
+from .config import VMConfig
+from .devices.base import AccessPattern, Device
+from .devices.nvme import NVMeSSD
+from .errors import OutOfMemoryError, SegmentationFault
+from .gc.parallel_scavenge import (
+    ParallelScavenge,
+    ParallelScavengeJDK11,
+    PromotionFailure,
+)
+from .heap.barriers import WriteBarrier
+from .heap.heap import ManagedHeap
+from .heap.object_model import HeapObject, SpaceId
+from .heap.roots import RootSet
+from .serdes.serializer import KryoSerializer
+from .teraheap.h2_heap import H2Heap
+from .teraheap.hints import HintInterface
+from .units import KiB
+
+#: granularity of temporary-object allocation bursts (S/D pressure)
+TEMP_CHUNK = 8 * KiB
+
+
+class JavaVM:
+    """One simulated JVM instance."""
+
+    def __init__(
+        self,
+        config: VMConfig,
+        h2_device: Optional[Device] = None,
+        old_gen_device: Optional[Device] = None,
+    ):
+        self.config = config
+        self.cost = config.cost
+        self.clock = Clock()
+        self.roots = RootSet()
+        self.hints = HintInterface()
+        self.h2: Optional[H2Heap] = None
+        self.old_gen_device = old_gen_device
+
+        if config.collector == "g1":
+            from .gc.g1 import G1Collector, G1Heap, G1WriteBarrier
+
+            self.heap = G1Heap(config)
+            self.collector = G1Collector(
+                self.heap, self.roots, self.clock, config
+            )
+            self.barrier = G1WriteBarrier(
+                self.collector, self.clock, self.cost
+            )
+        else:
+            self.heap = ManagedHeap(config)
+            if config.teraheap.enabled:
+                if h2_device is None:
+                    h2_device = NVMeSSD(self.clock)
+                else:
+                    h2_device.clock = self.clock
+                self.h2 = H2Heap(
+                    config.teraheap,
+                    h2_device,
+                    self.clock,
+                    config.page_cache_size,
+                )
+                from .teraheap.collector import TeraHeapCollector
+
+                self.collector = TeraHeapCollector(
+                    self.heap,
+                    self.roots,
+                    self.clock,
+                    config,
+                    self.h2,
+                    self.hints,
+                )
+            elif config.collector == "panthera":
+                from .gc.panthera import PantheraCollector
+
+                if old_gen_device is not None:
+                    old_gen_device.clock = self.clock
+                self.collector = PantheraCollector(
+                    self.heap,
+                    self.roots,
+                    self.clock,
+                    config,
+                    nvm=old_gen_device,
+                )
+                if config.panthera is not None:
+                    self.heap.pretenure_threshold = (
+                        config.panthera.pretenure_threshold
+                    )
+            elif config.collector == "memmode":
+                from .devices.nvm import NVMMemoryMode
+                from .gc.memory_mode import MemoryModeCollector
+
+                if old_gen_device is None:
+                    old_gen_device = NVMMemoryMode(self.clock)
+                else:
+                    old_gen_device.clock = self.clock
+                self.old_gen_device = old_gen_device
+                self.collector = MemoryModeCollector(
+                    self.heap,
+                    self.roots,
+                    self.clock,
+                    config,
+                    device=old_gen_device,
+                )
+            elif config.collector == "ps11":
+                self.collector = ParallelScavengeJDK11(
+                    self.heap, self.roots, self.clock, config
+                )
+            else:
+                self.collector = ParallelScavenge(
+                    self.heap, self.roots, self.clock, config
+                )
+            self.barrier = WriteBarrier(
+                self.heap,
+                self.clock,
+                self.cost,
+                h2_card_table=self.h2.card_table if self.h2 else None,
+                enable_teraheap=config.teraheap.enabled,
+            )
+
+        self.serializer = KryoSerializer(
+            self.clock, self.cost, allocate_temp=self.allocate_temp
+        )
+        self.oom = False
+
+    # ==================================================================
+    # Allocation
+    # ==================================================================
+    def allocate(
+        self,
+        size: int,
+        refs: Iterable[HeapObject] = (),
+        name: str = "",
+        is_metadata: bool = False,
+        is_reference: bool = False,
+        serializable: bool = True,
+    ) -> HeapObject:
+        """Allocate one object, collecting as needed (may raise OOM)."""
+        obj = HeapObject(
+            size,
+            refs,
+            name=name,
+            is_metadata=is_metadata,
+            is_reference=is_reference,
+            serializable=serializable,
+        )
+        self.clock.charge(self.cost.alloc_cost, Bucket.OTHER)
+        if self.heap.try_allocate(obj):
+            return obj
+        # Slow path: collect, escalating from scavenge to full GC.
+        self.minor_gc()
+        if self.heap.try_allocate(obj):
+            return obj
+        self.major_gc()
+        if self.heap.try_allocate(obj):
+            return obj
+        self.oom = True
+        raise OutOfMemoryError(
+            f"cannot allocate {size} B after full GC",
+            requested=size,
+            available=self.heap.capacity - self.heap.used(),
+        )
+
+    def allocate_array(
+        self,
+        count: int,
+        element_size: int,
+        refs_per_element: int = 0,
+        name: str = "",
+    ) -> List[HeapObject]:
+        """Bulk-allocate ``count`` plain objects (no references)."""
+        return [
+            self.allocate(element_size, name=f"{name}[{i}]" if name else "")
+            for i in range(count)
+        ]
+
+    def allocate_temp(self, nbytes: int) -> None:
+        """Spray short-lived temporaries (S/D byte-stream buffers).
+
+        The objects are never rooted, so they die at the next scavenge —
+        their only effect is the young-generation pressure the paper
+        attributes to S/D (Section 2).
+        """
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(TEMP_CHUNK, max(remaining, 16))
+            obj = HeapObject(chunk, name="sd-temp")
+            self.clock.charge(self.cost.alloc_cost, Bucket.OTHER)
+            if not self.heap.try_allocate(obj):
+                self.minor_gc()
+                if not self.heap.try_allocate(obj):
+                    self.major_gc()
+                    if not self.heap.try_allocate(obj):
+                        self.oom = True
+                        raise OutOfMemoryError(
+                            "temporary allocation failed", requested=chunk
+                        )
+            remaining -= chunk
+
+    # ==================================================================
+    # Mutator object access
+    # ==================================================================
+    def write_ref(
+        self,
+        src: HeapObject,
+        target: Optional[HeapObject],
+        remove: Optional[HeapObject] = None,
+    ) -> None:
+        """``src.field = target`` with post-write barrier semantics."""
+        if src.space is SpaceId.FREED:
+            raise SegmentationFault(
+                f"write to reclaimed object #{src.oid}"
+            )
+        if remove is not None:
+            try:
+                src.refs.remove(remove)
+            except ValueError:
+                pass
+        if target is not None:
+            src.refs.append(target)
+        if src.space is SpaceId.H2 and self.h2 is not None:
+            # Mutator update of a device-resident object: the store goes
+            # through the mapping (read-modify-write on a faulted page).
+            self.h2.mutator_store(src)
+        self.barrier.on_reference_store(src, target)
+
+    def clear_refs(self, src: HeapObject) -> None:
+        """Drop all outgoing references of ``src``."""
+        src.refs = []
+
+    def read_object(
+        self,
+        obj: HeapObject,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+    ) -> None:
+        """A mutator reads an object's contents."""
+        if obj.space is SpaceId.FREED:
+            raise SegmentationFault(f"read of reclaimed object #{obj.oid}")
+        if obj.space is SpaceId.H2 and self.h2 is not None:
+            self.h2.mutator_load(obj, pattern)
+            return
+        if self.config.collector == "memmode" and self.old_gen_device is not None:
+            # Memory mode: every heap access goes through the DRAM/NVM blend.
+            self.old_gen_device.read(obj.size, pattern)
+            return
+        # DRAM-resident object (or NVM under Panthera's old gen).
+        if (
+            self.config.collector == "panthera"
+            and self.old_gen_device is not None
+            and obj.space is SpaceId.OLD
+        ):
+            from .gc.panthera import PantheraCollector
+
+            collector = self.collector
+            if isinstance(collector, PantheraCollector) and collector.on_nvm(
+                obj
+            ):
+                self.old_gen_device.read(obj.size, pattern)
+                return
+        self.clock.charge(
+            self.cost.dram_latency + obj.size / self.cost.dram_read_bw
+        )
+
+    def compute(self, operations: int, parallel: bool = True) -> None:
+        """Charge pure mutator work for ``operations`` record operations."""
+        seconds = operations * self.cost.mutator_op_cost
+        if parallel:
+            seconds /= max(1.0, self.config.mutator_threads ** 0.9)
+        self.clock.charge(seconds, Bucket.OTHER)
+
+    # ==================================================================
+    # TeraHeap hint interface (exported via Unsafe in the real JVM)
+    # ==================================================================
+    def h2_tag_root(self, obj: HeapObject, label: str) -> None:
+        self.hints.h2_tag_root(obj, label)
+
+    def h2_move(self, label: str) -> None:
+        self.hints.h2_move(label)
+
+    # ==================================================================
+    # GC entry points
+    # ==================================================================
+    def minor_gc(self) -> None:
+        try:
+            self.collector.minor_gc()
+        except PromotionFailure:
+            self.collector.major_gc()
+
+    def major_gc(self) -> None:
+        self.collector.major_gc()
+
+    # ==================================================================
+    # Reporting
+    # ==================================================================
+    def breakdown(self):
+        return self.clock.breakdown()
+
+    def elapsed(self) -> float:
+        return self.clock.now

@@ -1,0 +1,371 @@
+"""TeraHeap's extension of the Parallel Scavenge collector (Section 4).
+
+Minor GC gains two tasks: fencing the scavenge from crossing into H2, and
+scanning the H2 card table for backward references (dirty + youngGen
+cards) so H1 survivors referenced from H2 are kept alive and the
+references adjusted.
+
+Major GC extends all four PS phases:
+
+- *marking*: reset region live bits; treat H1 objects referenced from H2
+  as roots; fence H1-to-H2 edges while setting region live bits (with
+  dependency-list propagation); compute the transitive closure of tagged
+  root key-objects; free dead regions at the end.
+- *pre-compaction*: assign H2 addresses (region by label) to movers.
+- *adjustment*: adjust backward references, record new cross-region
+  references, and mark new backward references dirty.
+- *compaction*: write movers to the device through promotion buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..clock import Clock
+from ..config import VMConfig
+from ..errors import SegmentationFault
+from ..gc.parallel_scavenge import ParallelScavenge
+from ..heap.heap import ManagedHeap
+from ..heap.object_model import HeapObject, SpaceId
+from ..heap.roots import RootSet
+from .h2_card_table import CardState
+from .h2_heap import H2Heap
+from .hints import HintInterface
+from .thresholds import AdaptiveThresholdPolicy, ThresholdPolicy
+
+
+class TeraHeapCollector(ParallelScavenge):
+    """Parallel Scavenge + TeraHeap (the paper's system)."""
+
+    name = "teraheap"
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        roots: RootSet,
+        clock: Clock,
+        config: VMConfig,
+        h2: H2Heap,
+        hints: HintInterface,
+    ):
+        super().__init__(heap, roots, clock, config)
+        self.h2 = h2
+        self.hints = hints
+        policy_cls = (
+            AdaptiveThresholdPolicy
+            if config.teraheap.adaptive_thresholds
+            else ThresholdPolicy
+        )
+        self.policy = policy_cls(
+            heap_capacity=config.heap_size,
+            high_threshold=config.teraheap.high_threshold,
+            low_threshold=config.teraheap.low_threshold,
+            use_move_hint=config.teraheap.use_move_hint,
+        )
+        self.four_state = config.teraheap.four_state_cards
+        #: forward (H1->H2) references fenced per GC, Section 7.4 metric
+        self.forward_refs_fenced = 0
+        #: backward-reference card segments scanned during minor GC
+        self.h2_cards_scanned_minor = 0
+        self._minor_scanned: List[Tuple[int, List[HeapObject]]] = []
+        self._major_scanned: List[Tuple[int, List[HeapObject]]] = []
+        self._moved_labels: Set[str] = set()
+
+    # ==================================================================
+    # Card scanning helpers
+    # ==================================================================
+    def _scan_h2_cards(
+        self, major: bool
+    ) -> Tuple[List[HeapObject], List[Tuple[int, List[HeapObject]]]]:
+        """Scan the H2 card table; return (H1 roots, scanned cards).
+
+        Checking the conceptual table costs one check per card (the table
+        is a DRAM byte array); each to-scan card additionally loads its
+        segment's objects from the device and inspects their references.
+        """
+        table = self.h2.card_table
+        cost = self.cost
+        parallelism = table.scan_parallelism(self.config.gc_threads)
+        work = cost.card_check_cost * table.num_cards
+        cards = table.cards_to_scan(major=major)
+        if not self.four_state and not major:
+            # Two-state ablation: oldGen knowledge is unavailable, so
+            # minor GC must also rescan segments that only reference the
+            # old generation.
+            extra = [
+                idx
+                for idx, st in table.iter_states()
+                if st is CardState.OLD_GEN
+            ]
+            cards = sorted(set(cards) | set(extra))
+        roots: List[HeapObject] = []
+        scanned: List[Tuple[int, List[HeapObject]]] = []
+        for card in cards:
+            lo, hi = table.card_range(card)
+            region = self.h2.region_at(lo)
+            if region is None or region.is_empty:
+                table.set_state(card, CardState.CLEAN)
+                continue
+            on_card = region.objects_overlapping(lo, hi)
+            # Reading device-resident objects to inspect their references.
+            self.h2.mapping.load(lo, hi - lo)
+            for obj in on_card:
+                work += cost.gc_visit_cost
+                for ref in obj.refs:
+                    work += cost.gc_ref_cost
+                    if ref.in_h1:
+                        if major or ref.in_young:
+                            roots.append(ref)
+                    elif (
+                        ref.space is SpaceId.H2
+                        and ref.region_id != obj.region_id
+                    ):
+                        # A mutator created this cross-region reference
+                        # after the move; install the dependency edge
+                        # before the card can be cleaned, so region
+                        # liveness propagates correctly.
+                        self.h2.record_cross_region_ref(
+                            obj.region_id, ref.region_id
+                        )
+            scanned.append((card, on_card))
+        self.clock.charge(work / parallelism)
+        return roots, scanned
+
+    def _classify_card(self, objects: List[HeapObject]) -> CardState:
+        """Post-scan card state from the segment's backward references."""
+        has_young = False
+        has_old = False
+        for obj in objects:
+            for ref in obj.refs:
+                if ref.in_young:
+                    has_young = True
+                elif ref.space is SpaceId.OLD:
+                    has_old = True
+        if has_young:
+            return CardState.YOUNG_GEN
+        if has_old:
+            if self.four_state:
+                return CardState.OLD_GEN
+            return CardState.DIRTY
+        return CardState.CLEAN
+
+    # ==================================================================
+    # Minor GC hooks
+    # ==================================================================
+    def minor_h2_roots(self) -> List[HeapObject]:
+        with self.clock.sub_context("h2_minor_scan"):
+            roots, self._minor_scanned = self._scan_h2_cards(major=False)
+        self.h2_cards_scanned_minor += len(self._minor_scanned)
+        return [r for r in roots if r.in_young]
+
+    def minor_h2_post_copy(self, relocated: Set[int]) -> None:
+        """Adjust backward references to relocated survivors and install
+        the new card states."""
+        table = self.h2.card_table
+        with self.clock.sub_context("h2_minor_scan"):
+            for card, objects in self._minor_scanned:
+                lo, hi = table.card_range(card)
+                needs_adjust = any(
+                    ref.oid in relocated
+                    for obj in objects
+                    for ref in obj.refs
+                )
+                if needs_adjust:
+                    # Rewriting pointers inside device-resident objects.
+                    self.h2.mapping.store(lo, hi - lo)
+                table.set_state(card, self._classify_card(objects))
+        self._minor_scanned = []
+
+    # ==================================================================
+    # Major GC hooks
+    # ==================================================================
+    def pre_major_mark(self) -> None:
+        self.h2.reset_live_bits()
+
+    def major_h2_roots(self) -> List[HeapObject]:
+        roots, self._major_scanned = self._scan_h2_cards(major=True)
+        return roots
+
+    def on_forward_reference(self, target: HeapObject) -> None:
+        if target.space is SpaceId.FREED:
+            raise SegmentationFault(
+                f"live H1 object references reclaimed H2 object #{target.oid}"
+            )
+        self.forward_refs_fenced += 1
+        if target.region_id >= 0:
+            self.h2.mark_region_live(target.region_id)
+
+    def select_h2_movers(
+        self, live: List[HeapObject], live_bytes: int, epoch: int
+    ) -> List[Tuple[HeapObject, str]]:
+        cost = self.cost
+        # --- transitive closure of tagged root key-objects --------------
+        groups: Dict[str, List[HeapObject]] = {}
+        work = 0.0
+        for root in self.hints.tagged_roots():
+            if root.mark_epoch < epoch or not root.in_h1:
+                continue  # dead or already-moved roots do not transfer
+            label = root.label
+            members = groups.setdefault(label, [])
+            stack = [root]
+            while stack:
+                obj = stack.pop()
+                if not obj.in_h1:
+                    continue
+                if obj.label == label and obj is not root and obj.h2_candidate:
+                    continue
+                if obj.is_metadata or obj.is_reference:
+                    # JVM metadata and java.lang.ref.Reference objects are
+                    # excluded from the closure (Section 3.2).
+                    continue
+                if obj.label is not None and obj.label != label:
+                    continue  # claimed by another group first
+                if obj.h2_candidate:
+                    continue
+                obj.label = label
+                obj.h2_candidate = True
+                members.append(obj)
+                work += cost.gc_visit_cost
+                for ref in obj.refs:
+                    work += cost.gc_ref_cost
+                    if ref.in_h1 and not ref.h2_candidate:
+                        stack.append(ref)
+        self.clock.charge(work / self.major_parallelism)
+
+        # Include groups tagged in earlier GCs but not yet transferred.
+        grouped_oids = {
+            o.oid for members in groups.values() for o in members
+        }
+        for obj in live:
+            if (
+                obj.h2_candidate
+                and obj.label is not None
+                and obj.oid not in grouped_oids
+            ):
+                groups.setdefault(obj.label, []).append(obj)
+                grouped_oids.add(obj.oid)
+
+        # --- transfer decision ------------------------------------------
+        decision = self.policy.decide(live_bytes)
+        movers: List[Tuple[HeapObject, str]] = []
+        moved_labels: Set[str] = set()
+        if decision.move_hinted:
+            for label in list(groups):
+                if self.hints.is_move_pending(label):
+                    movers.extend((o, label) for o in groups.pop(label))
+                    moved_labels.add(label)
+        if decision.move_unhinted and groups:
+            # Pressure transfer: move marked objects oldest-label-first
+            # until the byte budget runs out (the low threshold, §3.2).
+            # Later labels — typically the still-mutable current message
+            # store — stay in H1 until their own hint arrives.
+            budget = decision.unhinted_budget
+            for label in list(groups):
+                if budget is not None and budget <= 0:
+                    break
+                members = groups.pop(label)
+                taken = []
+                for obj in members:
+                    if budget is not None and budget <= 0:
+                        break
+                    taken.append(obj)
+                    if budget is not None:
+                        budget -= obj.size
+                movers.extend((o, label) for o in taken)
+                if len(taken) == len(members):
+                    moved_labels.add(label)
+                # Untaken members keep their candidate tag and move at a
+                # later GC (or with their h2_move hint).
+        self._moved_labels = moved_labels
+        # Whatever was not selected keeps its candidate tag and waits for
+        # its h2_move() or for heap pressure.
+        return [(o, lbl) for o, lbl in movers if o.mark_epoch >= epoch]
+
+    def after_marking(self, epoch: int) -> None:
+        self.h2.reclaim_dead_regions(epoch)
+
+    def assign_h2_addresses(
+        self, movers: List[Tuple[HeapObject, str]], epoch: int
+    ) -> None:
+        for obj, label in movers:
+            self.h2.assign_address(obj, label, epoch)
+            obj.h2_candidate = False
+
+    def adjust_mover_references(
+        self, movers: List[Tuple[HeapObject, str]], stayers: Set[int]
+    ) -> None:
+        table = self.h2.card_table
+        for obj, _ in movers:
+            for ref in obj.refs:
+                if ref.space is SpaceId.H2 and ref.region_id != obj.region_id:
+                    self.h2.record_cross_region_ref(
+                        obj.region_id, ref.region_id
+                    )
+                elif ref.oid in stayers:
+                    # New backward (H2 -> H1) reference.
+                    table.mark_dirty(obj.address)
+
+    def adjust_h2_backward_refs(self) -> None:
+        """Rewrite backward references to compacted H1 locations and
+        reclassify the scanned cards."""
+        table = self.h2.card_table
+        for card, _ in self._major_scanned:
+            lo, hi = table.card_range(card)
+            region = self.h2.region_at(lo)
+            if region is None or region.is_empty:
+                # The segment's region was reclaimed during marking.
+                table.set_state(card, CardState.CLEAN)
+                continue
+            # Recompute the segment's contents: pre-compaction may have
+            # placed fresh movers into this card since the marking scan.
+            objects = region.objects_overlapping(lo, hi)
+            has_backward = any(
+                ref.in_h1 or ref.forward_space is not None
+                for obj in objects
+                for ref in obj.refs
+            )
+            if has_backward:
+                self.h2.mapping.store(lo, hi - lo)
+            # A backward-referenced H1 object may itself have moved to H2
+            # this cycle: the reference is now cross-region and must enter
+            # the dependency lists before its tracking card goes clean.
+            for obj in objects:
+                if obj.space is not SpaceId.H2:
+                    continue
+                for ref in obj.refs:
+                    if (
+                        ref.space is SpaceId.H2
+                        and ref.region_id != obj.region_id
+                    ):
+                        self.h2.record_cross_region_ref(
+                            obj.region_id, ref.region_id
+                        )
+            state = self._classify_after_major(objects)
+            table.set_state(card, state)
+        self._major_scanned = []
+
+    def _classify_after_major(self, objects: List[HeapObject]) -> CardState:
+        has_young = False
+        has_old = False
+        for obj in objects:
+            if obj.space is SpaceId.FREED:
+                continue
+            for ref in obj.refs:
+                space = ref.forward_space or ref.space
+                if space in (SpaceId.EDEN, SpaceId.FROM, SpaceId.TO):
+                    has_young = True
+                elif space is SpaceId.OLD:
+                    has_old = True
+        if has_young:
+            return CardState.YOUNG_GEN
+        if has_old:
+            return CardState.OLD_GEN if self.four_state else CardState.DIRTY
+        return CardState.CLEAN
+
+    def compact_movers(self, movers: List[Tuple[HeapObject, str]]) -> None:
+        for obj, _ in movers:
+            self.h2.write_object(obj)
+        self.h2.finish_compaction()
+        if self._moved_labels:
+            self.hints.consume_moved(self._moved_labels)
+            self._moved_labels = set()

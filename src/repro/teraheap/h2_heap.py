@@ -1,0 +1,289 @@
+"""The H2 heap: region allocator over a memory-mapped device file.
+
+H2 coexists with H1 in the JVM's virtual address space (Figure 1): H1 is
+an anonymous mapping in DRAM, H2 a file-backed mapping on the storage
+device.  The OS virtual-memory system translates references into H2, so
+mutators access H2 objects with plain loads/stores — no S/D, no custom
+lookup.  All H2 *metadata* (region array, dependency lists, card table)
+stays in DRAM (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..clock import Clock
+from ..config import TeraHeapConfig
+from ..devices.base import AccessPattern, Device
+from ..devices.mmap import MappedFile
+from ..devices.page_cache import PageCache
+from ..errors import OutOfMemoryError
+from ..heap.object_model import HeapObject
+from .h2_card_table import H2CardTable
+from .promotion import PromotionManager
+from .region_groups import RegionGroups
+from .regions import PER_REGION_METADATA_BYTES, Region, RegionLiveness
+
+#: base virtual address of the H2 mapping, disjoint from H1
+H2_BASE = 0x1_0000_0000
+
+
+class H2Heap:
+    """Region-based second heap with lazy bulk reclamation."""
+
+    def __init__(
+        self,
+        config: TeraHeapConfig,
+        device: Device,
+        clock: Clock,
+        page_cache_size: int,
+    ):
+        self.config = config
+        self.device = device
+        self.clock = clock
+        self.page_cache = PageCache(device, page_cache_size)
+        self.mapping = MappedFile(
+            device,
+            H2_BASE,
+            config.h2_size,
+            self.page_cache,
+            huge_pages=config.huge_pages,
+        )
+        self.card_table = H2CardTable(
+            H2_BASE,
+            config.h2_size,
+            config.card_segment_size,
+            config.stripe_size,
+            stripe_aligned=config.stripe_aligned,
+        )
+        self.promotion = PromotionManager(
+            self.mapping, config.promotion_buffer_size
+        )
+        self.num_regions = config.h2_size // config.region_size
+        #: allocated regions by index (lazily created)
+        self.regions: Dict[int, Region] = {}
+        self._free_indices: List[int] = []
+        self._next_fresh = 0
+        #: open (current) region per label, for append placement
+        self._open_by_label: Dict[str, int] = {}
+        #: union-find groups, used only under the "groups" policy
+        self.region_groups: Optional[RegionGroups] = (
+            RegionGroups() if config.region_policy == "groups" else None
+        )
+        #: group representatives marked live this GC (groups policy)
+        self._live_group_roots: Set[int] = set()
+        #: per-GC record of region liveness, feeding Figure 10
+        self.liveness_log: List[RegionLiveness] = []
+        self.regions_reclaimed = 0
+        self.bytes_reclaimed = 0
+        self.regions_allocated_total = 0
+        self.objects_moved = 0
+        self.bytes_moved = 0
+
+    # ------------------------------------------------------------------
+    # Region management
+    # ------------------------------------------------------------------
+    @property
+    def metadata_bytes(self) -> int:
+        """Current DRAM metadata footprint (Figure 2 structures)."""
+        return len(self.regions) * PER_REGION_METADATA_BYTES
+
+    def used_bytes(self) -> int:
+        return sum(r.used for r in self.regions.values())
+
+    def active_regions(self) -> List[Region]:
+        return [r for r in self.regions.values() if not r.is_empty]
+
+    def _new_region(self, label: str, epoch: int) -> Region:
+        if self._free_indices:
+            index = self._free_indices.pop()
+            region = self.regions[index]
+        elif self._next_fresh < self.num_regions:
+            index = self._next_fresh
+            self._next_fresh += 1
+            start = H2_BASE + index * self.config.region_size
+            region = Region(index, start, self.config.region_size)
+            self.regions[index] = region
+        else:
+            raise OutOfMemoryError(
+                "H2 exhausted: no free regions",
+                requested=self.config.region_size,
+            )
+        region.label = label
+        region.allocated_epoch = epoch
+        self.regions_allocated_total += 1
+        return region
+
+    def region_at(self, address: int) -> Optional[Region]:
+        index = (address - H2_BASE) // self.config.region_size
+        return self.regions.get(index)
+
+    # ------------------------------------------------------------------
+    # Object placement (compaction phase of major GC)
+    # ------------------------------------------------------------------
+    def assign_address(self, obj: HeapObject, label: str, epoch: int) -> Region:
+        """Pick an H2 address for ``obj`` in its label's open region.
+
+        Objects with the same label land in the same region so whole
+        groups can be reclaimed en masse; objects never span regions.
+        Called during pre-compaction (Section 4).
+
+        Under size-aware placement (§7.3 future work), objects at or
+        above a quarter region are segregated into per-label large-object
+        regions, so sparse regions of big arrays can die independently of
+        dense regions of small objects.
+        """
+        if obj.size > self.config.region_size:
+            raise OutOfMemoryError(
+                f"object of {obj.size} B exceeds H2 region size "
+                f"{self.config.region_size} B",
+                requested=obj.size,
+            )
+        if (
+            self.config.size_aware_placement
+            and obj.size >= self.config.region_size // 4
+        ):
+            label = f"{label}:large"
+        index = self._open_by_label.get(label)
+        region = self.regions.get(index) if index is not None else None
+        if region is None or region.label != label or not region.has_room(obj.size):
+            region = self._new_region(label, epoch)
+            self._open_by_label[label] = region.index
+        region.allocate(obj)
+        obj.label = label
+        self.objects_moved += 1
+        self.bytes_moved += obj.size
+        return region
+
+    def write_object(self, obj: HeapObject) -> None:
+        """Emit the object's bytes through the promotion buffers."""
+        self.promotion.write_object(obj, obj.region_id)
+
+    def finish_compaction(self) -> None:
+        self.promotion.flush_all()
+
+    # ------------------------------------------------------------------
+    # Cross-region references (Section 3.3)
+    # ------------------------------------------------------------------
+    def record_cross_region_ref(self, src_region: int, dst_region: int) -> None:
+        """A reference from an object in ``src_region`` to one in
+        ``dst_region`` was created (during object transfer)."""
+        if src_region == dst_region:
+            return
+        if self.region_groups is not None:
+            self.region_groups.union(src_region, dst_region)
+        else:
+            self.regions[src_region].deps.add(dst_region)
+
+    # ------------------------------------------------------------------
+    # Liveness (major GC marking, Section 3.3 / Section 4)
+    # ------------------------------------------------------------------
+    def reset_live_bits(self) -> None:
+        for region in self.regions.values():
+            region.live = False
+        self._live_group_roots = set()
+
+    def mark_region_live(self, index: int) -> None:
+        """Set a region's live bit and propagate along dependency lists."""
+        if self.region_groups is not None:
+            # Group policy: any H1 reference into the group revives it
+            # all; membership resolves lazily at reclaim time.
+            region = self.regions.get(index)
+            if region is not None:
+                region.live = True
+            self._live_group_roots.add(self.region_groups.find(index))
+            return
+        start = self.regions.get(index)
+        if start is None:
+            return
+        start.live = True
+        # Always walk the start's dependency list — edges may have been
+        # recorded after its live bit was first set.
+        stack = list(start.deps)
+        while stack:
+            current = stack.pop()
+            region = self.regions.get(current)
+            if region is None or region.live:
+                continue
+            region.live = True
+            stack.extend(region.deps)
+
+    def reclaim_dead_regions(self, epoch: int) -> int:
+        """Free every allocated, non-live region in bulk (end of marking).
+
+        Freeing costs no device I/O: the allocation pointer is zeroed, the
+        dependency list deleted, and the mapped pages dropped without
+        writeback.
+        """
+        # Re-propagate liveness along dependency lists: edges recorded
+        # after a region's live bit was set (e.g. during the card scan)
+        # must still pin their targets.
+        if self.region_groups is not None:
+            # Any member of a live group is live.
+            for region in self.regions.values():
+                if region.live:
+                    self._live_group_roots.add(
+                        self.region_groups.find(region.index)
+                    )
+            for region in self.regions.values():
+                if (
+                    not region.is_empty
+                    and self.region_groups.find(region.index)
+                    in self._live_group_roots
+                ):
+                    region.live = True
+        else:
+            for region in list(self.regions.values()):
+                if region.live:
+                    self.mark_region_live(region.index)
+        reclaimed = []
+        for region in self.regions.values():
+            if region.is_empty or region.live:
+                continue
+            self.liveness_log.append(
+                RegionLiveness(
+                    total_objects=len(region.objects),
+                    live_objects=0,
+                    used_bytes=region.used,
+                    live_bytes=0,
+                    capacity=region.capacity,
+                )
+            )
+            self.bytes_reclaimed += region.used
+            self.mapping.discard(region.start, region.capacity)
+            self.card_table.clear_range(region.start, region.end)
+            region.reclaim()
+            reclaimed.append(region.index)
+        for index in reclaimed:
+            self._free_indices.append(index)
+            for label, open_index in list(self._open_by_label.items()):
+                if open_index == index:
+                    del self._open_by_label[label]
+        if self.region_groups is not None and reclaimed:
+            self.region_groups.remove(reclaimed)
+        self.regions_reclaimed += len(reclaimed)
+        return len(reclaimed)
+
+    # ------------------------------------------------------------------
+    # Statistics (Figure 10, Table 5)
+    # ------------------------------------------------------------------
+    def finalize_liveness_stats(self, mark_epoch: int) -> List[RegionLiveness]:
+        """Record stats for regions still active at shutdown and return the
+        complete log (reclaimed + active), the Figure 10 population."""
+        log = list(self.liveness_log)
+        for region in self.active_regions():
+            log.append(region.live_object_stats(mark_epoch))
+        return log
+
+    # ------------------------------------------------------------------
+    # Mutator access
+    # ------------------------------------------------------------------
+    def mutator_load(
+        self, obj: HeapObject, pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    ) -> None:
+        """A mutator reads an H2 object: fault pages in through the cache."""
+        self.mapping.load(obj.address, obj.size, pattern)
+
+    def mutator_store(self, obj: HeapObject, nbytes: int = 8) -> None:
+        """A mutator updates a field of an H2 object (read-modify-write)."""
+        self.mapping.store(obj.address, nbytes)

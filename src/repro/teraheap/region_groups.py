@@ -1,0 +1,84 @@
+"""Union-find region groups: the simpler cross-region policy (Section 3.3).
+
+Instead of tracking the *direction* of cross-region references with
+dependency lists, this alternative logically merges the source and
+destination regions of any cross-region reference into one group.  A group
+is live if H1 references any object in any of its regions, so a single
+incoming reference keeps the entire group alive — the paper's X->Y->Z
+example shows this forfeits reclamation of upstream regions, which is why
+the dependency-list design wins.  The ablation benchmark compares both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+
+class RegionGroups:
+    """Union-find over region indices with per-group liveness."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[int, int] = {}
+        self._rank: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, region: int) -> None:
+        if region not in self._parent:
+            self._parent[region] = region
+            self._rank[region] = 0
+
+    def find(self, region: int) -> int:
+        """Group representative, with path compression."""
+        self.add(region)
+        root = region
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[region] != root:
+            self._parent[region], region = root, self._parent[region]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the groups of ``a`` and ``b`` (a cross-region reference)."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def same_group(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    def group_members(self, region: int) -> Set[int]:
+        root = self.find(region)
+        return {r for r in self._parent if self.find(r) == root}
+
+    def remove(self, regions: Iterable[int]) -> None:
+        """Forget reclaimed regions (their groups dissolve with them)."""
+        doomed = set(regions)
+        survivors = [r for r in self._parent if r not in doomed]
+        # Rebuild: group structure among survivors is preserved by keeping
+        # their (compressed) roots, remapping roots that were reclaimed.
+        groups: Dict[int, List[int]] = {}
+        for r in survivors:
+            groups.setdefault(self.find(r), []).append(r)
+        self._parent = {}
+        self._rank = {}
+        for members in groups.values():
+            anchor = members[0]
+            self.add(anchor)
+            for other in members[1:]:
+                self.add(other)
+                self.union(anchor, other)
+
+    def live_regions(self, h1_referenced: Iterable[int]) -> Set[int]:
+        """All regions kept alive by H1 references into their group."""
+        live: Set[int] = set()
+        live_roots = {self.find(r) for r in h1_referenced}
+        for region in self._parent:
+            if self.find(region) in live_roots:
+                live.add(region)
+        return live

@@ -1,0 +1,15 @@
+"""Shared test helpers."""
+
+
+def make_group(vm, count=20, size=2048, name="grp"):
+    """Allocate a root key-object with ``count`` children, pinned as a root."""
+    with vm.roots.frame() as frame:
+        children = [
+            frame.push(vm.allocate(size, name=f"{name}-{i}"))
+            for i in range(count)
+        ]
+        root = vm.allocate(
+            max(64, 8 * count), refs=children, name=f"{name}-root"
+        )
+    vm.roots.add(root)
+    return root, children

@@ -1,0 +1,107 @@
+"""Clock: bucket accounting, contexts, sub-buckets, snapshots."""
+
+import pytest
+
+from repro.clock import Bucket, Clock
+
+
+def test_initial_state():
+    clock = Clock()
+    assert clock.now == 0.0
+    assert all(v == 0.0 for v in clock.breakdown().values())
+
+
+def test_charge_default_bucket_is_other():
+    clock = Clock()
+    clock.charge(1.5)
+    assert clock.total(Bucket.OTHER) == 1.5
+
+
+def test_charge_explicit_bucket():
+    clock = Clock()
+    clock.charge(2.0, Bucket.SD_IO)
+    assert clock.total(Bucket.SD_IO) == 2.0
+    assert clock.total(Bucket.OTHER) == 0.0
+
+
+def test_negative_charge_rejected():
+    clock = Clock()
+    with pytest.raises(ValueError):
+        clock.charge(-1.0)
+
+
+def test_context_routes_untagged_charges():
+    clock = Clock()
+    with clock.context(Bucket.MAJOR_GC):
+        clock.charge(3.0)
+    assert clock.total(Bucket.MAJOR_GC) == 3.0
+
+
+def test_context_nesting():
+    clock = Clock()
+    with clock.context(Bucket.MINOR_GC):
+        with clock.context(Bucket.SD_IO):
+            clock.charge(1.0)
+        clock.charge(2.0)
+    assert clock.total(Bucket.SD_IO) == 1.0
+    assert clock.total(Bucket.MINOR_GC) == 2.0
+
+
+def test_context_restores_on_exception():
+    clock = Clock()
+    with pytest.raises(RuntimeError):
+        with clock.context(Bucket.MAJOR_GC):
+            raise RuntimeError
+    clock.charge(1.0)
+    assert clock.total(Bucket.OTHER) == 1.0
+
+
+def test_now_sums_buckets():
+    clock = Clock()
+    clock.charge(1.0, Bucket.OTHER)
+    clock.charge(2.0, Bucket.MAJOR_GC)
+    assert clock.now == pytest.approx(3.0)
+
+
+def test_sub_context_accumulates():
+    clock = Clock()
+    with clock.context(Bucket.MAJOR_GC):
+        with clock.sub_context("marking"):
+            clock.charge(1.0)
+        with clock.sub_context("compact"):
+            clock.charge(2.0)
+    assert clock.sub_total("marking") == 1.0
+    assert clock.sub_total("compact") == 2.0
+    assert clock.sub_breakdown() == {"marking": 1.0, "compact": 2.0}
+
+
+def test_snapshot_delta():
+    clock = Clock()
+    clock.charge(1.0, Bucket.OTHER)
+    snap = clock.snapshot()
+    clock.charge(2.0, Bucket.MINOR_GC)
+    delta = snap.delta(clock)
+    assert delta["minor_gc"] == pytest.approx(2.0)
+    assert delta["other"] == pytest.approx(0.0)
+
+
+def test_snapshot_sub_delta():
+    clock = Clock()
+    with clock.sub_context("x"):
+        clock.charge(1.0)
+    snap = clock.snapshot()
+    with clock.sub_context("x"):
+        clock.charge(0.5)
+    assert snap.sub_delta(clock, "x") == pytest.approx(0.5)
+
+
+def test_record_event():
+    clock = Clock()
+    clock.charge(5.0)
+    clock.record_event("major_gc", 2.0)
+    assert clock.events == [(5.0, "major_gc", 2.0)]
+
+
+def test_breakdown_keys_match_paper():
+    clock = Clock()
+    assert set(clock.breakdown()) == {"other", "sd_io", "minor_gc", "major_gc"}

@@ -1,0 +1,102 @@
+"""Configuration validation and derived layout sizes."""
+
+import pytest
+
+from repro.config import (
+    CostModel,
+    G1Config,
+    PantheraConfig,
+    TeraHeapConfig,
+    VMConfig,
+)
+from repro.errors import ConfigError
+from repro.units import GB, KiB, MB, gb
+
+
+def test_default_layout_partitions_heap():
+    cfg = VMConfig(heap_size=gb(60))
+    assert cfg.young_size + cfg.old_size == cfg.heap_size
+    assert cfg.eden_size + 2 * cfg.survivor_size == cfg.young_size
+
+
+def test_heap_must_be_positive():
+    with pytest.raises(ConfigError):
+        VMConfig(heap_size=0)
+
+
+def test_young_fraction_bounds():
+    with pytest.raises(ConfigError):
+        VMConfig(heap_size=gb(8), young_fraction=1.5)
+
+
+def test_unknown_collector_rejected():
+    with pytest.raises(ConfigError):
+        VMConfig(heap_size=gb(8), collector="zgc")
+
+
+def test_known_collectors_accepted():
+    for name in ("ps", "ps11", "g1", "panthera", "memmode"):
+        kwargs = {}
+        if name == "panthera":
+            kwargs["panthera"] = PantheraConfig()
+        VMConfig(heap_size=gb(8), collector=name, **kwargs)
+
+
+def test_teraheap_requires_ps_family():
+    with pytest.raises(ConfigError):
+        VMConfig(
+            heap_size=gb(8),
+            collector="g1",
+            teraheap=TeraHeapConfig(enabled=True),
+        )
+
+
+def test_teraheap_stripe_defaults_to_region():
+    th = TeraHeapConfig(region_size=4 * MB, h2_size=400 * MB)
+    assert th.stripe_size == th.region_size
+
+
+def test_teraheap_h2_multiple_of_region():
+    with pytest.raises(ConfigError):
+        TeraHeapConfig(h2_size=100 * MB + 7, region_size=16 * MB)
+
+
+def test_teraheap_threshold_ordering():
+    with pytest.raises(ConfigError):
+        TeraHeapConfig(high_threshold=0.5, low_threshold=0.8)
+
+
+def test_teraheap_high_threshold_bounds():
+    with pytest.raises(ConfigError):
+        TeraHeapConfig(high_threshold=0.0)
+
+
+def test_teraheap_low_threshold_none_allowed():
+    th = TeraHeapConfig(low_threshold=None)
+    assert th.low_threshold is None
+
+
+def test_region_policy_validation():
+    with pytest.raises(ConfigError):
+        TeraHeapConfig(region_policy="magic")
+    for policy in ("deps", "groups"):
+        assert TeraHeapConfig(region_policy=policy).region_policy == policy
+
+
+def test_cost_model_defaults_sane():
+    cost = CostModel()
+    assert cost.gc_visit_cost > 0
+    assert cost.serialize_bw > 0
+    assert cost.teraheap_barrier_extra < cost.barrier_cost
+    assert 0.0 < cost.sd_temp_object_ratio < 1.0
+
+
+def test_g1_config_defaults():
+    g1 = G1Config()
+    assert g1.region_size == 32 * MB
+    assert 0 < g1.mixed_collection_fraction <= 1
+
+
+def test_panthera_split():
+    p = PantheraConfig(dram_old_size=6 * GB, nvm_old_size=48 * GB)
+    assert p.dram_old_size < p.nvm_old_size

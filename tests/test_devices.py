@@ -1,0 +1,138 @@
+"""Device models: latency/bandwidth costs, page granularity, traffic."""
+
+import pytest
+
+from repro.clock import Bucket, Clock
+from repro.devices.base import AccessPattern, Device, DeviceTraffic
+from repro.devices.dram import DRAM
+from repro.devices.nvm import NVM, NVMMemoryMode
+from repro.devices.nvme import NVMeSSD
+from repro.units import KiB, gb
+
+
+def test_read_cost_is_latency_plus_bandwidth():
+    clock = Clock()
+    dev = Device(
+        name="d", read_latency=1.0, read_bw=100.0, page_size=1, clock=clock
+    )
+    cost = dev.read(200)
+    assert cost == pytest.approx(1.0 + 2.0)
+    assert clock.now == pytest.approx(cost)
+
+
+def test_write_cost():
+    clock = Clock()
+    dev = Device(name="d", write_latency=0.5, write_bw=100.0, clock=clock)
+    assert dev.write(100) == pytest.approx(0.5 + 1.0)
+
+
+def test_page_granularity_amplifies_small_reads():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    dev.read(100)  # sub-page read moves a whole 4 KB page
+    assert dev.traffic.bytes_read == 4 * KiB
+
+
+def test_multi_page_rounding():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    dev.write(4 * KiB + 1)
+    assert dev.traffic.bytes_written == 8 * KiB
+
+
+def test_random_pattern_penalty():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    seq = dev.read(4 * KiB, AccessPattern.SEQUENTIAL)
+    rand = dev.read(4 * KiB, AccessPattern.RANDOM)
+    assert rand > seq
+
+
+def test_requests_multiply_latency():
+    clock = Clock()
+    dev = NVM(clock)
+    one = dev.read(1024, requests=1)
+    many = dev.read(1024, requests=100)
+    assert many > one
+
+
+def test_charges_go_to_current_bucket():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    with clock.context(Bucket.MAJOR_GC):
+        dev.read(4 * KiB)
+    assert clock.total(Bucket.MAJOR_GC) > 0
+    assert clock.total(Bucket.OTHER) == 0
+
+
+def test_read_modify_write_costs_both_directions():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    cost = dev.read_modify_write(100)
+    assert dev.traffic.bytes_read == 4 * KiB
+    assert dev.traffic.bytes_written == 4 * KiB
+    assert cost > 0
+
+
+def test_dram_is_byte_addressable():
+    clock = Clock()
+    dev = DRAM(clock)
+    dev.read(100)
+    assert dev.traffic.bytes_read == 100
+
+
+def test_device_speed_ordering():
+    """DRAM > NVM > NVMe for small random reads (the paper's hierarchy)."""
+    clock = Clock()
+    costs = {}
+    for cls in (DRAM, NVM, NVMeSSD):
+        dev = cls(Clock())
+        costs[cls.__name__] = dev.read(4 * KiB, AccessPattern.RANDOM)
+    assert costs["DRAM"] < costs["NVM"] < costs["NVMeSSD"]
+
+
+def test_traffic_snapshot_delta():
+    t = DeviceTraffic(bytes_read=100, bytes_written=50, read_ops=2, write_ops=1)
+    snap = t.snapshot()
+    t.bytes_read += 10
+    delta = t.delta(snap)
+    assert delta.bytes_read == 10
+    assert delta.bytes_written == 0
+
+
+def test_traffic_reset():
+    t = DeviceTraffic(bytes_read=5)
+    t.reset()
+    assert t.bytes_read == 0
+
+
+class TestNVMMemoryMode:
+    def test_high_hit_ratio_when_working_set_fits(self):
+        dev = NVMMemoryMode(Clock(), dram_cache_size=gb(100))
+        dev.working_set = gb(10)
+        assert dev.hit_ratio() == dev.mutator_hit_cap
+
+    def test_hit_ratio_degrades_with_overflow(self):
+        dev = NVMMemoryMode(Clock(), dram_cache_size=gb(10))
+        dev.working_set = gb(100)
+        assert dev.hit_ratio() < dev.mutator_hit_cap
+
+    def test_hit_ratio_floor(self):
+        dev = NVMMemoryMode(Clock(), dram_cache_size=gb(1))
+        dev.working_set = gb(10000)
+        assert dev.hit_ratio() == pytest.approx(0.10)
+
+    def test_gc_reads_cost_more_than_mutator_reads(self):
+        c1, c2 = Clock(), Clock()
+        d1 = NVMMemoryMode(c1)
+        d2 = NVMMemoryMode(c2)
+        d1.working_set = d2.working_set = gb(10)
+        mutator = d1.read(64 * KiB)
+        gc = d2.gc_read(64 * KiB)
+        assert gc > mutator
+
+    def test_gc_write_charges_clock(self):
+        clock = Clock()
+        dev = NVMMemoryMode(clock)
+        dev.gc_write(4 * KiB)
+        assert clock.now > 0

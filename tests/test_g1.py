@@ -1,0 +1,152 @@
+"""G1: regions, humongous allocation, fragmentation, collections."""
+
+import pytest
+
+from repro import JavaVM, OutOfMemoryError, VMConfig, gb
+from repro.config import G1Config
+from repro.gc.g1 import G1Heap, RegionState
+from repro.heap.object_model import HeapObject, SpaceId
+from repro.units import KiB
+
+
+def make_vm(heap_gb=4, region_size=32 * KiB):
+    return JavaVM(
+        VMConfig(
+            heap_size=gb(heap_gb),
+            collector="g1",
+            g1=G1Config(region_size=region_size),
+        )
+    )
+
+
+class TestG1Heap:
+    def test_region_count(self):
+        heap = G1Heap(VMConfig(heap_size=gb(4), collector="g1"))
+        assert heap.num_regions == heap.capacity // heap.region_size
+
+    def test_small_allocation_in_eden_region(self):
+        heap = G1Heap(VMConfig(heap_size=gb(4), collector="g1"))
+        o = HeapObject(1024)
+        assert heap.try_allocate(o)
+        assert o.space is SpaceId.EDEN
+        assert heap.regions[o.region_id].state is RegionState.EDEN
+
+    def test_humongous_threshold(self):
+        heap = G1Heap(VMConfig(heap_size=gb(4), collector="g1"))
+        assert heap.is_humongous(heap.region_size // 2 + 1)
+        assert not heap.is_humongous(heap.region_size // 2)
+
+    def test_humongous_takes_contiguous_run(self):
+        heap = G1Heap(VMConfig(heap_size=gb(4), collector="g1"))
+        big = HeapObject(heap.region_size + 100)
+        assert heap.try_allocate(big)
+        head = heap.regions[big.region_id]
+        assert head.state is RegionState.HUMONGOUS_START
+        assert (
+            heap.regions[head.index + 1].state is RegionState.HUMONGOUS_CONT
+        )
+        assert heap.humongous_waste > 0
+
+    def test_humongous_waste_counts_toward_usage(self):
+        heap = G1Heap(VMConfig(heap_size=gb(4), collector="g1"))
+        big = HeapObject(heap.region_size + 100)
+        heap.try_allocate(big)
+        assert heap.used() >= 2 * heap.region_size
+
+    def test_free_humongous_run(self):
+        heap = G1Heap(VMConfig(heap_size=gb(4), collector="g1"))
+        big = HeapObject(heap.region_size + 100)
+        heap.try_allocate(big)
+        head = heap.regions[big.region_id]
+        heap.free_humongous_run(head)
+        assert head.state is RegionState.FREE
+        assert heap.regions[head.index + 1].state is RegionState.FREE
+
+    def test_eden_budget_limits_allocation(self):
+        heap = G1Heap(VMConfig(heap_size=gb(4), collector="g1"))
+        size = heap.region_size // 2
+        allocated = 0
+        while heap.try_allocate(HeapObject(size)):
+            allocated += 1
+        # Stops at roughly the young target, not at heap exhaustion.
+        assert allocated <= heap.young_target * 2 + 2
+
+
+class TestG1Collector:
+    def test_young_collection_reclaims_garbage(self):
+        vm = make_vm()
+        keep = vm.allocate(1024)
+        vm.roots.add(keep)
+        for _ in range(200):
+            vm.allocate(8 * KiB)
+        assert vm.collector.stats.minor_count > 0
+        assert keep.space is not SpaceId.FREED
+
+    def test_survivors_eventually_promote(self):
+        vm = make_vm()
+        keep = vm.allocate(1024)
+        vm.roots.add(keep)
+        vm.minor_gc()
+        vm.minor_gc()
+        assert keep.space is SpaceId.OLD
+
+    def test_old_to_young_remset(self):
+        vm = make_vm()
+        holder = vm.allocate(1024)
+        vm.roots.add(holder)
+        vm.minor_gc()
+        vm.minor_gc()
+        assert holder.space is SpaceId.OLD
+        young = vm.allocate(512)
+        vm.write_ref(holder, young)
+        vm.roots.remove(holder)
+        vm.minor_gc()
+        assert young.space is not SpaceId.FREED
+
+    def test_mixed_collection_frees_dead_old_regions(self):
+        vm = make_vm()
+        junk = [vm.allocate(8 * KiB) for _ in range(50)]
+        for o in junk:
+            vm.roots.add(o)
+        vm.minor_gc()
+        vm.minor_gc()  # promote
+        for o in junk:
+            vm.roots.remove(o)
+        vm.major_gc()
+        free = len(vm.heap.free_regions())
+        assert free > vm.heap.num_regions // 2
+
+    def test_humongous_fragmentation_oom(self):
+        """Long-lived humongous objects exhaust contiguous space (the
+        paper's SVM/BC/RL failure mode)."""
+        vm = make_vm(heap_gb=2)
+        hum_size = vm.heap.region_size + vm.heap.region_size // 2
+        with pytest.raises(OutOfMemoryError):
+            while True:
+                o = vm.allocate(hum_size)
+                vm.roots.add(o)
+
+    def test_dead_humongous_reclaimed_eagerly(self):
+        vm = make_vm()
+        big = vm.allocate(vm.heap.region_size + 100)
+        vm.roots.add(big)
+        vm.roots.remove(big)
+        vm.major_gc()
+        assert big.space is SpaceId.FREED
+
+    def test_mixed_collection_is_incremental(self):
+        """Garbage-first: a mixed collection evacuates only the emptiest
+        old regions, leaving mostly-live regions untouched."""
+        vm = make_vm()
+        roots = [vm.allocate(8 * KiB) for _ in range(100)]
+        for r in roots:
+            vm.roots.add(r)
+        vm.minor_gc()
+        vm.minor_gc()  # promote everything (fully live old regions)
+        addresses = {r.oid: r.address for r in roots}
+        vm.major_gc()
+        unmoved = sum(
+            1 for r in roots if r.address == addresses[r.oid]
+        )
+        # Only up to the mixed-collection fraction of regions moves.
+        assert unmoved >= len(roots) // 2

@@ -1,0 +1,103 @@
+"""Message combiners and master aggregators."""
+
+import pytest
+
+from repro import JavaVM, TeraHeapConfig, VMConfig, gb
+from repro.devices.nvme import NVMeSSD
+from repro.frameworks.giraph import GiraphConf, GiraphMode, GiraphJob
+from repro.frameworks.giraph.combiners import (
+    AggregatorRegistry,
+    COMBINERS,
+    resolve_combiner,
+)
+from repro.frameworks.giraph.programs import PageRankProgram
+from repro.units import KiB
+from repro.workloads.generators import make_graph
+
+
+@pytest.fixture
+def graph():
+    return make_graph(gb(2), num_vertices=200, avg_degree=6, seed=11)
+
+
+def make_vm():
+    return JavaVM(VMConfig(heap_size=gb(8), page_cache_size=gb(2)))
+
+
+class TestCombinerResolution:
+    def test_none_is_none(self):
+        assert resolve_combiner(None) is None
+
+    @pytest.mark.parametrize("name", sorted(COMBINERS))
+    def test_builtins_resolve(self, name):
+        combiner = resolve_combiner(name)
+        assert combiner.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_combiner("median")
+
+    def test_combined_bytes_is_single_value(self):
+        combiner = resolve_combiner("sum")
+        assert combiner.combined_bytes(100, 96) == 96
+        assert combiner.combined_bytes(0, 96) == 0
+
+
+class TestCombinerEffect:
+    def run_pr(self, combiner):
+        vm = make_vm()
+        conf = GiraphConf(
+            mode=GiraphMode.OOC,
+            device=NVMeSSD(vm.clock),
+            combiner=combiner,
+        )
+        g = make_graph(gb(2), num_vertices=200, avg_degree=6, seed=11)
+        job = GiraphJob(vm, conf, g)
+        job.load_graph()
+        job.run(PageRankProgram(g, iterations=3))
+        return job, job.message_store_bytes
+
+    def test_combiner_shrinks_message_stores(self):
+        _, plain = self.run_pr(None)
+        _, combined = self.run_pr("sum")
+        assert combined < plain
+
+    def test_same_supersteps_either_way(self):
+        job_a, _ = self.run_pr(None)
+        job_b, _ = self.run_pr("sum")
+        assert job_a.supersteps_run == job_b.supersteps_run
+
+
+class TestAggregators:
+    def test_bsp_visibility(self):
+        vm = make_vm()
+        master = vm.allocate(256, name="master")
+        vm.roots.add(master)
+        reg = AggregatorRegistry(vm, master)
+        reg.aggregate("sum", 2.0)
+        reg.aggregate("sum", 3.0)
+        assert reg.get("sum") == 0.0  # not visible until the barrier
+        reg.barrier()
+        assert reg.get("sum") == 5.0
+        reg.barrier()
+        assert reg.get("sum") == 0.0  # one superstep of lifetime
+
+    def test_value_objects_released_at_barrier(self):
+        vm = make_vm()
+        master = vm.allocate(256, name="master")
+        vm.roots.add(master)
+        reg = AggregatorRegistry(vm, master)
+        reg.aggregate("x", 1.0)
+        assert len(master.refs) == 1
+        reg.barrier()
+        assert len(master.refs) == 0
+
+    def test_job_tracks_active_vertices(self):
+        vm = make_vm()
+        conf = GiraphConf(mode=GiraphMode.OOC, device=NVMeSSD(vm.clock))
+        g = make_graph(gb(2), num_vertices=100, avg_degree=4, seed=3)
+        job = GiraphJob(vm, conf, g)
+        job.load_graph()
+        job.run(PageRankProgram(g, iterations=2))
+        # All vertices were active in the last completed superstep.
+        assert job.aggregators.get("active_vertices") == g.num_vertices

@@ -1,0 +1,110 @@
+"""Per-workload Giraph behaviour: activity patterns drive memory patterns."""
+
+import pytest
+
+from repro import JavaVM, TeraHeapConfig, VMConfig, gb
+from repro.devices.nvme import NVMeSSD
+from repro.frameworks.giraph import GiraphConf, GiraphMode, GiraphJob
+from repro.frameworks.giraph.programs import (
+    BFSProgram,
+    CDLPProgram,
+    PageRankProgram,
+    SSSPProgram,
+    WCCProgram,
+)
+from repro.frameworks.giraph.workloads import GIRAPH_PROGRAMS, run_giraph
+from repro.units import KiB
+from repro.workloads.generators import make_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_graph(gb(3), num_vertices=300, avg_degree=6, seed=21)
+
+
+def run_job(graph, program_cls, **program_kwargs):
+    vm = JavaVM(VMConfig(heap_size=gb(10), page_cache_size=gb(2)))
+    conf = GiraphConf(mode=GiraphMode.OOC, device=NVMeSSD(vm.clock))
+    job = GiraphJob(vm, conf, graph)
+    job.load_graph()
+    job.run(program_cls(graph, **program_kwargs))
+    return job
+
+
+def test_pagerank_sends_over_every_edge(graph):
+    job = run_job(graph, PageRankProgram, iterations=3)
+    # All vertices active every superstep: messages ~= edges x supersteps.
+    assert job.messages_sent == graph.num_edges * 3
+
+
+def test_bfs_sends_fewer_messages_than_pagerank(graph):
+    pr = run_job(graph, PageRankProgram, iterations=5)
+    bfs = run_job(graph, BFSProgram)
+    assert bfs.messages_sent < pr.messages_sent
+
+
+def test_wcc_message_volume_decays(graph):
+    """WCC converges: later supersteps send fewer messages."""
+    vm = JavaVM(VMConfig(heap_size=gb(10), page_cache_size=gb(2)))
+    conf = GiraphConf(mode=GiraphMode.OOC, device=NVMeSSD(vm.clock))
+    job = GiraphJob(vm, conf, graph)
+    job.load_graph()
+    prog = WCCProgram(graph)
+    senders = prog.initial_senders()
+    volumes = []
+    for s in range(prog.max_supersteps):
+        volumes.append(int(senders.sum()))
+        received = prog._messages_from(senders)
+        senders, done = prog.superstep(s, received, senders)
+        if done:
+            break
+    assert volumes[-1] < volumes[0]
+
+
+def test_sssp_runs_longer_than_bfs(graph):
+    """Weighted relaxation needs more supersteps than hop counting."""
+    bfs = run_job(graph, BFSProgram)
+    sssp = run_job(graph, SSSPProgram)
+    assert sssp.supersteps_run >= bfs.supersteps_run
+
+
+def test_cdlp_all_active_fixed_rounds(graph):
+    job = run_job(graph, CDLPProgram, iterations=4)
+    assert job.supersteps_run == 4
+    assert job.aggregators.get("active_vertices") == graph.num_vertices
+
+
+def test_registry_matches_table4():
+    assert set(GIRAPH_PROGRAMS) == {"PR", "CDLP", "WCC", "BFS", "SSSP"}
+
+
+def test_edges_dominate_heap_after_load(graph):
+    """Edges and messages are 'a large portion of the heap' (§5)."""
+    vm = JavaVM(VMConfig(heap_size=gb(10), page_cache_size=gb(2)))
+    conf = GiraphConf(mode=GiraphMode.OOC, device=NVMeSSD(vm.clock))
+    job = GiraphJob(vm, conf, graph)
+    job.load_graph()
+    edge_bytes = sum(
+        job._edge_sizes[v]
+        for v in range(graph.num_vertices)
+        if job.edge_roots[v] is not None
+    )
+    vertex_bytes = graph.num_vertices * graph.vertex_value_size
+    assert edge_bytes > 5 * vertex_bytes
+
+
+def test_teraheap_reads_edges_from_h2(graph):
+    vm = JavaVM(
+        VMConfig(
+            heap_size=gb(6),
+            teraheap=TeraHeapConfig(
+                enabled=True, h2_size=gb(64), region_size=16 * KiB
+            ),
+            page_cache_size=gb(2),
+        )
+    )
+    conf = GiraphConf(mode=GiraphMode.TERAHEAP)
+    job = run_giraph(vm, conf, graph, "PR")
+    # The compute phase faulted H2 pages for edge reads.
+    assert vm.h2.page_cache.hits + vm.h2.page_cache.misses > 0
+    assert vm.h2.objects_moved > 0

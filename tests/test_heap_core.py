@@ -1,0 +1,283 @@
+"""Object model, spaces, H1 card table, roots, managed heap."""
+
+import pytest
+
+from repro.config import VMConfig
+from repro.errors import ConfigError
+from repro.heap.card_table import CardTable
+from repro.heap.heap import H1_BASE, ManagedHeap
+from repro.heap.object_model import HeapObject, SpaceId
+from repro.heap.roots import RootSet
+from repro.heap.spaces import OldGeneration, Space
+from repro.units import gb
+
+
+# ---------------------------------------------------------------------
+# HeapObject
+# ---------------------------------------------------------------------
+class TestObjectModel:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            HeapObject(8)
+
+    def test_oids_unique(self):
+        a, b = HeapObject(64), HeapObject(64)
+        assert a.oid != b.oid
+
+    def test_defaults(self):
+        o = HeapObject(64)
+        assert o.space is SpaceId.EDEN
+        assert o.label is None
+        assert not o.h2_candidate
+        assert o.serializable
+
+    def test_in_young_and_in_h1(self):
+        o = HeapObject(64)
+        for space, young, h1 in [
+            (SpaceId.EDEN, True, True),
+            (SpaceId.FROM, True, True),
+            (SpaceId.TO, True, True),
+            (SpaceId.OLD, False, True),
+            (SpaceId.H2, False, False),
+            (SpaceId.FREED, False, False),
+        ]:
+            o.space = space
+            assert o.in_young is young
+            assert o.in_h1 is h1
+
+    def test_in_h2(self):
+        o = HeapObject(64)
+        o.space = SpaceId.H2
+        assert o.in_h2
+
+    def test_end_address(self):
+        o = HeapObject(100)
+        o.address = 1000
+        assert o.end_address() == 1100
+
+    def test_refs_are_copied(self):
+        children = [HeapObject(64)]
+        o = HeapObject(64, refs=children)
+        children.append(HeapObject(64))
+        assert len(o.refs) == 1
+
+
+# ---------------------------------------------------------------------
+# Spaces
+# ---------------------------------------------------------------------
+class TestSpace:
+    def test_bump_allocation(self):
+        s = Space(SpaceId.EDEN, 0, 1000)
+        a, b = HeapObject(100), HeapObject(200)
+        assert s.allocate(a) and s.allocate(b)
+        assert a.address == 0
+        assert b.address == 100
+        assert s.used == 300
+        assert s.free == 700
+
+    def test_allocation_fails_when_full(self):
+        s = Space(SpaceId.EDEN, 0, 100)
+        assert not s.allocate(HeapObject(128))
+
+    def test_allocate_sets_space(self):
+        s = Space(SpaceId.OLD, 0, 1000)
+        o = HeapObject(64)
+        s.allocate(o)
+        assert o.space is SpaceId.OLD
+
+    def test_reset(self):
+        s = Space(SpaceId.EDEN, 0, 1000)
+        s.allocate(HeapObject(64))
+        s.reset()
+        assert s.used == 0
+        assert s.objects == []
+
+    def test_occupancy(self):
+        s = Space(SpaceId.EDEN, 0, 1000)
+        s.allocate(HeapObject(500))
+        assert s.occupancy == pytest.approx(0.5)
+
+    def test_objects_overlapping(self):
+        s = Space(SpaceId.OLD, 0, 10000)
+        objs = [HeapObject(100) for _ in range(10)]
+        for o in objs:
+            s.allocate(o)
+        found = s.objects_overlapping(150, 350)
+        assert objs[1] in found  # [100,200) overlaps
+        assert objs[2] in found
+        assert objs[3] in found  # [300,400) overlaps
+        assert objs[0] not in found
+        assert objs[5] not in found
+
+    def test_objects_overlapping_spanning_object(self):
+        s = Space(SpaceId.OLD, 0, 10000)
+        big = HeapObject(5000)
+        s.allocate(big)
+        assert s.objects_overlapping(4000, 4100) == [big]
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ConfigError):
+            Space(SpaceId.EDEN, 0, -1)
+
+    def test_old_generation_rebuild(self):
+        old = OldGeneration(0, 10000)
+        objs = [HeapObject(100) for _ in range(3)]
+        for i, o in enumerate(objs):
+            o.address = i * 100
+        old.rebuild_after_compaction(objs)
+        assert old.top == 300
+        assert old.objects == objs
+
+
+# ---------------------------------------------------------------------
+# H1 card table
+# ---------------------------------------------------------------------
+class TestCardTable:
+    def test_card_index(self):
+        ct = CardTable(base=0, size=4096, card_size=512)
+        assert ct.num_cards == 8
+        assert ct.card_index(0) == 0
+        assert ct.card_index(511) == 0
+        assert ct.card_index(512) == 1
+
+    def test_out_of_range(self):
+        ct = CardTable(base=0, size=4096)
+        with pytest.raises(ValueError):
+            ct.card_index(4096)
+
+    def test_mark_and_clear(self):
+        ct = CardTable(base=0, size=4096)
+        ct.mark(600)
+        assert ct.is_dirty(1)
+        ct.clear(1)
+        assert not ct.is_dirty(1)
+
+    def test_mark_object_spans_cards(self):
+        ct = CardTable(base=0, size=4096)
+        ct.mark_object(400, 300)  # spans cards 0 and 1
+        assert ct.is_dirty(0) and ct.is_dirty(1)
+
+    def test_dirty_cards_sorted(self):
+        ct = CardTable(base=0, size=4096)
+        ct.mark(3000)
+        ct.mark(100)
+        assert list(ct.dirty_cards()) == [0, 5]
+
+    def test_card_range(self):
+        ct = CardTable(base=1000, size=4096)
+        lo, hi = ct.card_range(0)
+        assert (lo, hi) == (1000, 1512)
+
+    def test_retain(self):
+        ct = CardTable(base=0, size=4096)
+        ct.mark(0)
+        ct.mark(1024)
+        ct.retain([2])
+        assert not ct.is_dirty(0)
+        assert ct.is_dirty(2)
+
+    def test_invalid_card_size(self):
+        with pytest.raises(ValueError):
+            CardTable(0, 4096, card_size=0)
+
+
+# ---------------------------------------------------------------------
+# Roots
+# ---------------------------------------------------------------------
+class TestRootSet:
+    def test_add_remove(self):
+        roots = RootSet()
+        o = HeapObject(64)
+        roots.add(o)
+        assert o in roots
+        roots.remove(o)
+        assert o not in roots
+
+    def test_iteration(self):
+        roots = RootSet()
+        objs = [HeapObject(64) for _ in range(3)]
+        for o in objs:
+            roots.add(o)
+        assert set(r.oid for r in roots) == {o.oid for o in objs}
+
+    def test_frame_pins_objects(self):
+        roots = RootSet()
+        o = HeapObject(64)
+        with roots.frame() as frame:
+            frame.push(o)
+            assert o in roots
+            assert len(roots) == 1
+        assert o not in roots
+
+    def test_nested_frames(self):
+        roots = RootSet()
+        a, b = HeapObject(64), HeapObject(64)
+        with roots.frame() as f1:
+            f1.push(a)
+            with roots.frame() as f2:
+                f2.push(b)
+                assert a in roots and b in roots
+            assert b not in roots
+        assert a not in roots
+
+    def test_frame_push_all(self):
+        roots = RootSet()
+        objs = [HeapObject(64) for _ in range(3)]
+        with roots.frame() as frame:
+            frame.push_all(objs)
+            assert len(roots) == 3
+
+
+# ---------------------------------------------------------------------
+# ManagedHeap
+# ---------------------------------------------------------------------
+class TestManagedHeap:
+    def make_heap(self):
+        return ManagedHeap(VMConfig(heap_size=gb(8)))
+
+    def test_layout_is_contiguous(self):
+        heap = self.make_heap()
+        assert heap.eden.base == H1_BASE
+        assert heap.survivor_from.base == heap.eden.end
+        assert heap.survivor_to.base == heap.survivor_from.end
+        assert heap.old.base == heap.survivor_to.end
+
+    def test_allocation_goes_to_eden(self):
+        heap = self.make_heap()
+        o = HeapObject(1024)
+        assert heap.try_allocate(o)
+        assert o.space is SpaceId.EDEN
+
+    def test_oversized_goes_to_old(self):
+        heap = self.make_heap()
+        o = HeapObject(heap.eden.capacity // 2 + 16)
+        assert heap.try_allocate(o)
+        assert o.space is SpaceId.OLD
+
+    def test_pretenure_threshold(self):
+        heap = self.make_heap()
+        heap.pretenure_threshold = 1024
+        o = HeapObject(2048)
+        assert heap.try_allocate(o)
+        assert o.space is SpaceId.OLD
+
+    def test_allocation_fails_when_eden_full(self):
+        heap = self.make_heap()
+        size = heap.eden.capacity // 4
+        while heap.try_allocate(HeapObject(size)):
+            pass
+        assert not heap.try_allocate(HeapObject(size))
+
+    def test_swap_survivors(self):
+        heap = self.make_heap()
+        o = HeapObject(64)
+        heap.survivor_to.allocate(o)
+        heap.swap_survivors()
+        assert o.space is SpaceId.FROM
+        assert heap.survivor_from.objects == [o]
+
+    def test_used_and_occupancy(self):
+        heap = self.make_heap()
+        heap.try_allocate(HeapObject(1024))
+        assert heap.used() == 1024
+        assert 0 < heap.live_occupancy() < 1

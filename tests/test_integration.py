@@ -1,0 +1,136 @@
+"""End-to-end integration: full framework runs with invariant checks."""
+
+import pytest
+
+from repro import JavaVM, TeraHeapConfig, VMConfig, gb
+from repro.devices.nvme import NVMeSSD
+from repro.frameworks.giraph import GiraphConf, GiraphMode
+from repro.frameworks.giraph.workloads import make_giraph_graph, run_giraph
+from repro.frameworks.spark import CachePolicy, SparkConf, SparkContext
+from repro.frameworks.spark.workloads import SPARK_WORKLOADS
+from repro.heap.object_model import SpaceId
+from repro.units import KiB
+
+
+def reachable_intact(vm):
+    seen = set()
+    stack = list(vm.roots)
+    while stack:
+        obj = stack.pop()
+        if obj.oid in seen:
+            continue
+        seen.add(obj.oid)
+        assert obj.space is not SpaceId.FREED
+        stack.extend(obj.refs)
+    return len(seen)
+
+
+def test_spark_pagerank_end_to_end_teraheap():
+    vm = JavaVM(
+        VMConfig(
+            heap_size=gb(16),
+            teraheap=TeraHeapConfig(
+                enabled=True, h2_size=gb(256), region_size=64 * KiB
+            ),
+            page_cache_size=gb(8),
+        )
+    )
+    ctx = SparkContext(
+        vm,
+        SparkConf(
+            cache_policy=CachePolicy.TERAHEAP,
+            offheap_device=NVMeSSD(vm.clock),
+        ),
+    )
+    SPARK_WORKLOADS["PR"](ctx, gb(20), scale=0.5)
+    assert reachable_intact(vm) > 0
+    assert vm.h2.objects_moved > 0
+    # Accounting is consistent: every bucket non-negative, totals add up.
+    breakdown = vm.breakdown()
+    assert all(v >= 0 for v in breakdown.values())
+    assert vm.elapsed() == pytest.approx(sum(breakdown.values()))
+
+
+def test_spark_all_policies_complete_same_workload():
+    totals = {}
+    for policy, th in [
+        (CachePolicy.SD, False),
+        (CachePolicy.MO, False),
+        (CachePolicy.TERAHEAP, True),
+    ]:
+        thc = (
+            TeraHeapConfig(enabled=True, h2_size=gb(256), region_size=64 * KiB)
+            if th
+            else TeraHeapConfig()
+        )
+        vm = JavaVM(
+            VMConfig(heap_size=gb(24), teraheap=thc, page_cache_size=gb(8))
+        )
+        ctx = SparkContext(
+            vm,
+            SparkConf(cache_policy=policy, offheap_device=NVMeSSD(vm.clock)),
+        )
+        SPARK_WORKLOADS["CC"](ctx, gb(16), scale=0.4)
+        reachable_intact(vm)
+        totals[policy] = vm.elapsed()
+    assert all(t > 0 for t in totals.values())
+
+
+def test_giraph_ooc_and_teraheap_complete_with_consistent_results():
+    graph = make_giraph_graph(gb(12), seed=5)
+    steps = {}
+    for mode, th in [(GiraphMode.OOC, False), (GiraphMode.TERAHEAP, True)]:
+        thc = (
+            TeraHeapConfig(enabled=True, h2_size=gb(256), region_size=16 * KiB)
+            if th
+            else TeraHeapConfig()
+        )
+        vm = JavaVM(
+            VMConfig(heap_size=gb(12), teraheap=thc, page_cache_size=gb(4))
+        )
+        conf = GiraphConf(mode=mode, device=NVMeSSD(vm.clock))
+        job = run_giraph(vm, conf, graph, "WCC")
+        reachable_intact(vm)
+        steps[mode] = job.supersteps_run
+    # The algorithm converges after the same number of supersteps no
+    # matter which memory system runs it.
+    assert steps[GiraphMode.OOC] == steps[GiraphMode.TERAHEAP]
+
+
+def test_device_traffic_conservation():
+    """Bytes written to H2 >= bytes of objects moved (page rounding)."""
+    vm = JavaVM(
+        VMConfig(
+            heap_size=gb(8),
+            teraheap=TeraHeapConfig(
+                enabled=True, h2_size=gb(64), region_size=16 * KiB
+            ),
+            page_cache_size=gb(4),
+        )
+    )
+    with vm.roots.frame() as frame:
+        children = [frame.push(vm.allocate(4 * KiB)) for _ in range(50)]
+        root = vm.allocate(512, refs=children)
+    vm.roots.add(root)
+    vm.h2_tag_root(root, "data")
+    vm.h2_move("data")
+    vm.major_gc()
+    written = vm.h2.device.traffic.bytes_written
+    assert written >= vm.h2.bytes_moved * 0.9
+
+
+def test_clock_monotonicity_through_workload():
+    vm = JavaVM(VMConfig(heap_size=gb(8)))
+    ctx = SparkContext(
+        vm,
+        SparkConf(
+            cache_policy=CachePolicy.SD, offheap_device=NVMeSSD(vm.clock)
+        ),
+    )
+    last = 0.0
+    rdd = ctx.range_rdd(gb(4)).persist()
+    for _ in range(3):
+        rdd.foreach_cached(8)
+        now = vm.elapsed()
+        assert now >= last
+        last = now

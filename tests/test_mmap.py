@@ -1,0 +1,100 @@
+"""Memory-mapped file regions: faults, huge pages, explicit writes."""
+
+import pytest
+
+from repro.clock import Clock
+from repro.devices.mmap import BASE_PAGE, HUGE_PAGE, MappedFile
+from repro.devices.nvme import NVMeSSD
+from repro.devices.page_cache import PageCache
+from repro.errors import SegmentationFault
+
+BASE = 0x1000_0000
+
+
+@pytest.fixture
+def mapping():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    cache = PageCache(dev, capacity=64 * BASE_PAGE)
+    return MappedFile(dev, BASE, 1 << 20, cache), dev
+
+
+def test_load_faults_pages(mapping):
+    m, dev = mapping
+    hits, misses = m.load(BASE, 10000)
+    assert misses == 3  # 10000 bytes span 3 pages
+    assert m.page_faults == 3
+
+
+def test_second_load_hits_cache(mapping):
+    m, _ = mapping
+    m.load(BASE, 4096)
+    hits, misses = m.load(BASE, 4096)
+    assert (hits, misses) == (1, 0)
+
+
+def test_store_is_read_modify_write(mapping):
+    m, dev = mapping
+    m.store(BASE + 100, 8)
+    # The store faulted the page in (device read), dirty data is written
+    # back later.
+    assert dev.traffic.bytes_read == BASE_PAGE
+
+
+def test_out_of_range_access_faults(mapping):
+    m, _ = mapping
+    with pytest.raises(SegmentationFault):
+        m.load(BASE - 1, 8)
+    with pytest.raises(SegmentationFault):
+        m.load(BASE + (1 << 20), 8)
+
+
+def test_write_explicit_bypasses_fault_path(mapping):
+    m, dev = mapping
+    m.write_explicit(BASE, 8 * BASE_PAGE)
+    assert dev.traffic.bytes_written == 8 * BASE_PAGE
+    assert dev.traffic.bytes_read == 0
+    assert m.page_faults == 0
+
+
+def test_write_explicit_many_coalesces_pages(mapping):
+    m, dev = mapping
+    # Two spans inside the same page: written once.
+    m.write_explicit_many([(BASE, 100), (BASE + 200, 100)])
+    assert dev.traffic.bytes_written == BASE_PAGE
+
+
+def test_discard_invalidates(mapping):
+    m, dev = mapping
+    m.load(BASE, BASE_PAGE)
+    m.discard(BASE, BASE_PAGE)
+    before = dev.traffic.bytes_read
+    m.load(BASE, BASE_PAGE)
+    assert dev.traffic.bytes_read == before + BASE_PAGE
+
+
+def test_huge_pages_reduce_fault_count():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    cache = PageCache(dev, capacity=256 * BASE_PAGE)
+    m = MappedFile(dev, BASE, 1 << 22, cache, huge_pages=True)
+    assert m.page_size == HUGE_PAGE
+    m.load(BASE, HUGE_PAGE)  # one fault covers 64 base pages
+    assert m.page_faults == 1
+
+
+def test_huge_pages_scale_cache_granularity():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    cache = PageCache(dev, capacity=256 * BASE_PAGE)
+    MappedFile(dev, BASE, 1 << 22, cache, huge_pages=True)
+    assert cache.page_size == HUGE_PAGE
+    assert cache.max_pages == 4  # 256 base pages / 64
+
+
+def test_zero_size_mapping_rejected():
+    clock = Clock()
+    dev = NVMeSSD(clock)
+    cache = PageCache(dev, capacity=64 * BASE_PAGE)
+    with pytest.raises(ValueError):
+        MappedFile(dev, BASE, 0, cache)

@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import Bucket, Clock
+from repro.devices.nvme import NVMeSSD
+from repro.devices.page_cache import PageCache
+from repro.heap.card_table import CardTable
+from repro.heap.object_model import HeapObject
+from repro.heap.spaces import Space, SpaceId
+from repro.teraheap.h2_card_table import CardState, H2CardTable
+from repro.teraheap.region_groups import RegionGroups
+from repro.teraheap.regions import Region, metadata_bytes_per_tb
+from repro.units import KiB, MiB
+
+
+# ---------------------------------------------------------------------
+# Clock
+# ---------------------------------------------------------------------
+@given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+def test_clock_now_equals_sum_of_charges(charges):
+    clock = Clock()
+    for c in charges:
+        clock.charge(c)
+    assert clock.now == sum(clock.breakdown().values())
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(list(Bucket)), st.floats(0, 1e3)),
+        max_size=50,
+    )
+)
+def test_clock_buckets_are_disjoint(charges):
+    clock = Clock()
+    per_bucket = {b: 0.0 for b in Bucket}
+    for bucket, amount in charges:
+        clock.charge(amount, bucket)
+        per_bucket[bucket] += amount
+    for bucket in Bucket:
+        assert clock.total(bucket) == per_bucket[bucket]
+
+
+# ---------------------------------------------------------------------
+# Bump allocation
+# ---------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=16, max_value=4096), max_size=60))
+def test_space_objects_never_overlap(sizes):
+    space = Space(SpaceId.EDEN, base=0, capacity=64 * KiB)
+    placed = []
+    for size in sizes:
+        obj = HeapObject(size)
+        if space.allocate(obj):
+            placed.append(obj)
+    for a, b in zip(placed, placed[1:]):
+        assert a.end_address() <= b.address
+    assert space.used == sum(o.size for o in placed)
+    assert space.used <= space.capacity
+
+
+@given(st.lists(st.integers(min_value=16, max_value=2048), max_size=40))
+def test_region_allocation_invariants(sizes):
+    region = Region(0, start=0x1000, capacity=16 * KiB)
+    for size in sizes:
+        region.allocate(HeapObject(size))
+    assert region.used <= region.capacity
+    assert region.top == 0x1000 + region.used
+    for obj in region.objects:
+        assert region.contains_address(obj.address)
+        assert obj.end_address() <= region.end
+
+
+# ---------------------------------------------------------------------
+# Card tables
+# ---------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=0, max_value=8191), max_size=50))
+def test_card_table_mark_roundtrip(addresses):
+    ct = CardTable(base=0, size=8192, card_size=512)
+    for addr in addresses:
+        ct.mark(addr)
+        assert ct.is_dirty(ct.card_index(addr))
+    assert ct.dirty_count <= ct.num_cards
+    dirty = list(ct.dirty_cards())
+    assert dirty == sorted(set(dirty))
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1), max_size=50)
+)
+def test_h2_card_table_card_covers_address(addresses):
+    base = 0x1_0000_0000
+    table = H2CardTable(base, 1 << 20, 8 * KiB, 64 * KiB)
+    for off in addresses:
+        idx = table.card_index(base + off)
+        lo, hi = table.card_range(idx)
+        assert lo <= base + off < hi
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=127),
+            st.sampled_from(list(CardState)),
+        ),
+        max_size=80,
+    )
+)
+def test_h2_card_scan_sets_consistent(transitions):
+    base = 0x1_0000_0000
+    table = H2CardTable(base, 1 << 20, 8 * KiB, 64 * KiB)
+    for idx, state in transitions:
+        table.set_state(idx, state)
+    minor = set(table.cards_to_scan(major=False))
+    major = set(table.cards_to_scan(major=True))
+    assert minor <= major  # minor scans a subset of major's set
+    for idx in major - minor:
+        assert table.state(idx) is CardState.OLD_GEN
+
+
+# ---------------------------------------------------------------------
+# Union-find region groups
+# ---------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=60,
+    )
+)
+def test_region_groups_equivalence_relation(unions):
+    g = RegionGroups()
+    for a, b in unions:
+        g.union(a, b)
+    regions = {r for pair in unions for r in pair}
+    for r in regions:
+        assert g.same_group(r, r)  # reflexive
+        members = g.group_members(r)
+        assert r in members
+        for other in members:
+            assert g.same_group(other, r)  # symmetric
+            assert g.group_members(other) == members  # transitive closure
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.sets(st.integers(min_value=0, max_value=20), max_size=5),
+)
+def test_region_groups_liveness_closed(unions, live_seed):
+    g = RegionGroups()
+    for a, b in unions:
+        g.union(a, b)
+    live = g.live_regions(live_seed)
+    # Liveness is closed over groups: any group member of a live region
+    # is live.
+    for r in live:
+        assert g.group_members(r) <= live
+
+
+# ---------------------------------------------------------------------
+# Page cache
+# ---------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=100), st.booleans()),
+        max_size=100,
+    )
+)
+@settings(max_examples=50)
+def test_page_cache_never_exceeds_capacity(accesses):
+    cache = PageCache(NVMeSSD(Clock()), capacity=8 * 4096)
+    for page, write in accesses:
+        cache.access([page], write=write)
+        assert len(cache) <= cache.max_pages
+    assert cache.hits + cache.misses == len(accesses)
+
+
+# ---------------------------------------------------------------------
+# Table 5 analytics
+# ---------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=8))
+def test_metadata_halves_per_doubling(power):
+    size = (1 << power) * MiB
+    assert metadata_bytes_per_tb(size * 2) * 2 == metadata_bytes_per_tb(size)

@@ -1,0 +1,73 @@
+"""Union-find region groups — the Section 3.3 alternative policy."""
+
+from repro.teraheap.region_groups import RegionGroups
+
+
+def test_singleton_groups():
+    g = RegionGroups()
+    g.add(1)
+    g.add(2)
+    assert not g.same_group(1, 2)
+
+
+def test_union_merges():
+    g = RegionGroups()
+    g.union(1, 2)
+    assert g.same_group(1, 2)
+
+
+def test_transitive_union():
+    g = RegionGroups()
+    g.union(1, 2)
+    g.union(2, 3)
+    assert g.same_group(1, 3)
+    assert g.group_members(1) == {1, 2, 3}
+
+
+def test_find_is_idempotent():
+    g = RegionGroups()
+    g.union(1, 2)
+    assert g.find(1) == g.find(g.find(1))
+
+
+def test_live_regions_whole_group():
+    """One H1 reference into a group keeps the entire group alive — the
+    imprecision that motivates dependency lists (X->Y->Z example)."""
+    g = RegionGroups()
+    g.union(1, 2)  # X -> Y
+    g.union(2, 3)  # Y -> Z
+    live = g.live_regions(h1_referenced=[3])  # only Z referenced
+    assert live == {1, 2, 3}  # X and Y cannot be reclaimed
+
+
+def test_live_regions_independent_groups():
+    g = RegionGroups()
+    g.union(1, 2)
+    g.union(10, 11)
+    live = g.live_regions(h1_referenced=[1])
+    assert live == {1, 2}
+
+
+def test_remove_reclaimed_regions():
+    g = RegionGroups()
+    g.union(1, 2)
+    g.union(3, 4)
+    g.remove([1, 2])
+    assert g.group_members(3) == {3, 4}
+    # Removed regions re-enter as singletons if referenced again.
+    assert g.group_members(1) == {1}
+
+
+def test_remove_preserves_remaining_group_structure():
+    g = RegionGroups()
+    g.union(1, 2)
+    g.union(2, 3)
+    g.remove([2])
+    assert g.same_group(1, 3)
+
+
+def test_union_by_rank_is_stable():
+    g = RegionGroups()
+    for i in range(100):
+        g.union(0, i)
+    assert len(g.group_members(0)) == 100

@@ -1,0 +1,98 @@
+"""H2 regions: placement, metadata, liveness stats, bulk reclamation."""
+
+import pytest
+
+from repro.heap.object_model import HeapObject, SpaceId
+from repro.teraheap.regions import (
+    PER_REGION_METADATA_BYTES,
+    Region,
+    metadata_bytes_per_tb,
+)
+from repro.units import MiB
+
+
+@pytest.fixture
+def region():
+    return Region(index=0, start=0x1000, capacity=16 * 1024)
+
+
+def test_append_only_allocation(region):
+    a, b = HeapObject(1000), HeapObject(2000)
+    assert region.allocate(a) and region.allocate(b)
+    assert a.address == 0x1000
+    assert b.address == 0x1000 + 1000
+    assert a.space is SpaceId.H2
+    assert a.region_id == 0
+    assert region.used == 3000
+
+
+def test_objects_never_span_regions(region):
+    big = HeapObject(region.capacity + 16)
+    assert not region.allocate(big)
+
+
+def test_allocation_fails_when_full(region):
+    assert region.allocate(HeapObject(16 * 1024))
+    assert not region.allocate(HeapObject(64))
+
+
+def test_reclaim_zeroes_pointer_and_frees_objects(region):
+    objs = [HeapObject(1000) for _ in range(3)]
+    for o in objs:
+        region.allocate(o)
+    region.deps.add(5)
+    region.live = True
+    dropped = region.reclaim()
+    assert dropped == objs
+    assert region.is_empty
+    assert region.deps == set()
+    assert not region.live
+    assert region.label is None
+    assert all(o.space is SpaceId.FREED for o in objs)
+
+
+def test_liveness_stats(region):
+    live, dead = HeapObject(1000), HeapObject(3000)
+    region.allocate(live)
+    region.allocate(dead)
+    live.mark_epoch = 7
+    stats = region.live_object_stats(mark_epoch=7)
+    assert stats.total_objects == 2
+    assert stats.live_objects == 1
+    assert stats.live_object_fraction == pytest.approx(0.5)
+    assert stats.live_bytes == 1000
+    assert stats.live_space_fraction == pytest.approx(1000 / region.capacity)
+    assert stats.unused_fraction == pytest.approx(
+        1 - 4000 / region.capacity
+    )
+
+
+def test_objects_overlapping(region):
+    objs = [HeapObject(1000) for _ in range(5)]
+    for o in objs:
+        region.allocate(o)
+    hit = region.objects_overlapping(0x1000 + 1500, 0x1000 + 2500)
+    assert objs[1] in hit and objs[2] in hit
+    assert objs[4] not in hit
+
+
+def test_metadata_matches_paper_table5():
+    # Paper Table 5: 1 MB regions -> 417 MB/TB ... halving each doubling.
+    assert metadata_bytes_per_tb(1 * MiB) == pytest.approx(
+        417 * MiB, rel=0.01
+    )
+    assert metadata_bytes_per_tb(2 * MiB) == pytest.approx(
+        metadata_bytes_per_tb(1 * MiB) / 2
+    )
+    assert metadata_bytes_per_tb(256 * MiB) < 2.1 * MiB
+
+
+def test_metadata_rejects_bad_region_size():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        metadata_bytes_per_tb(0)
+
+
+def test_per_region_constant():
+    assert PER_REGION_METADATA_BYTES == 417

@@ -1,0 +1,111 @@
+"""The experiment runner builds each paper system correctly."""
+
+import pytest
+
+from repro.devices.nvm import NVM, NVMMemoryMode
+from repro.devices.nvme import NVMeSSD
+from repro.experiments.configs import (
+    GIRAPH_WORKLOADS_TABLE4,
+    SPARK_DR2_GB,
+    SPARK_WORKLOADS_TABLE3,
+)
+from repro.experiments.runner import (
+    GIRAPH_H2_REGION,
+    SPARK_H2_REGION,
+    build_giraph_vm,
+    build_spark_vm,
+)
+from repro.frameworks.spark.conf import CachePolicy
+from repro.units import gb
+
+
+CFG = SPARK_WORKLOADS_TABLE3["PR"]
+
+
+def test_spark_sd_uses_ps_and_sd_policy():
+    vm, ctx = build_spark_vm("spark-sd", 80, CFG)
+    assert vm.collector.name == "ps"
+    assert ctx.conf.cache_policy is CachePolicy.SD
+    assert vm.h2 is None
+    assert vm.config.heap_size == gb(80 - SPARK_DR2_GB)
+
+
+def test_spark_sd11_uses_jdk11_collector():
+    vm, _ = build_spark_vm("spark-sd11", 80, CFG)
+    assert vm.collector.name == "ps11"
+
+
+def test_spark_g1():
+    vm, _ = build_spark_vm("spark-g1", 80, CFG)
+    assert vm.collector.name == "g1"
+
+
+def test_teraheap_vm_has_h2_on_requested_device():
+    vm, ctx = build_spark_vm("teraheap", 80, CFG, device_kind="nvm")
+    assert vm.h2 is not None
+    assert isinstance(vm.h2.device, NVM)
+    assert vm.h2.config.region_size == SPARK_H2_REGION
+    assert ctx.conf.cache_policy is CachePolicy.TERAHEAP
+
+
+def test_teraheap_nvme_default():
+    vm, _ = build_spark_vm("teraheap", 80, CFG)
+    assert isinstance(vm.h2.device, NVMeSSD)
+
+
+def test_spark_mo_memmode_and_fitting_heap():
+    vm, ctx = build_spark_vm("spark-mo", 80, CFG)
+    assert vm.collector.name == "ps-memmode"
+    assert isinstance(vm.old_gen_device, NVMMemoryMode)
+    assert ctx.conf.cache_policy is CachePolicy.MO
+    # Heap sized so the memory store never evicts.
+    assert vm.config.heap_size * 0.6 >= gb(CFG.dataset_gb)
+
+
+def test_panthera_layout():
+    vm, ctx = build_spark_vm("panthera", 16, CFG, device_kind="nvm")
+    assert vm.collector.name == "panthera"
+    assert vm.collector.nvm is not None
+    assert vm.config.young_fraction == pytest.approx(1 / 6)
+    assert vm.heap.pretenure_threshold is not None
+
+
+def test_ml_workloads_get_huge_pages():
+    lr_cfg = SPARK_WORKLOADS_TABLE3["LR"]
+    vm, _ = build_spark_vm("teraheap", 70, lr_cfg)
+    assert vm.h2.mapping.huge_pages
+    vm, _ = build_spark_vm("teraheap", 80, CFG)  # PR: regular pages
+    assert not vm.h2.mapping.huge_pages
+
+
+def test_giraph_dram_split_follows_table4():
+    cfg = GIRAPH_WORKLOADS_TABLE4["PR"]
+    vm, conf = build_giraph_vm("giraph-th", 85, cfg)
+    expected_h1 = 85 * cfg.th_h1_gb / (cfg.th_h1_gb + cfg.th_dr2_gb)
+    assert vm.config.heap_size == pytest.approx(gb(expected_h1), rel=0.01)
+    assert vm.h2.config.region_size == GIRAPH_H2_REGION
+    vm, conf = build_giraph_vm("giraph-ooc", 85, cfg)
+    expected_heap = 85 * cfg.ooc_heap_gb / (cfg.ooc_heap_gb + cfg.ooc_dr2_gb)
+    assert vm.config.heap_size == pytest.approx(gb(expected_heap), rel=0.01)
+
+
+def test_giraph_overrides_reach_both_configs():
+    cfg = GIRAPH_WORKLOADS_TABLE4["PR"]
+    vm, conf = build_giraph_vm(
+        "giraph-th", 85, cfg, teraheap_overrides={"use_move_hint": False}
+    )
+    assert not vm.config.teraheap.use_move_hint
+    assert not conf.use_move_hint
+
+
+def test_th_on_nvm_is_faster_than_nvme_for_streaming():
+    """App Direct NVM has no page-granularity amplification and higher
+    bandwidth, so TeraHeap's H2 reads cost less than on NVMe."""
+    from repro.experiments.runner import run_spark_workload
+
+    cfg = SPARK_WORKLOADS_TABLE3["LR"]
+    nvme = run_spark_workload("LR", "teraheap", 70, cfg, scale=0.3)
+    nvm = run_spark_workload(
+        "LR", "teraheap", 70, cfg, device_kind="nvm", scale=0.3
+    )
+    assert nvm.total < nvme.total

@@ -1,0 +1,201 @@
+"""Mini-Spark: RDDs, block manager policies, shuffle, workloads."""
+
+import pytest
+
+from repro import JavaVM, TeraHeapConfig, VMConfig, gb
+from repro.clock import Bucket
+from repro.devices.nvme import NVMeSSD
+from repro.frameworks.spark import (
+    CachePolicy,
+    RDD,
+    SparkConf,
+    SparkContext,
+)
+from repro.frameworks.spark.rdd import make_partitions
+from repro.frameworks.spark.workloads import SPARK_WORKLOADS
+from repro.heap.object_model import SpaceId
+from repro.units import KiB
+
+
+def make_ctx(policy=CachePolicy.SD, heap_gb=8, th=False, partitions=32):
+    thc = (
+        TeraHeapConfig(enabled=True, h2_size=gb(64), region_size=64 * KiB)
+        if th
+        else TeraHeapConfig()
+    )
+    vm = JavaVM(
+        VMConfig(heap_size=gb(heap_gb), teraheap=thc, page_cache_size=gb(4))
+    )
+    dev = NVMeSSD(vm.clock)
+    conf = SparkConf(
+        cache_policy=policy, offheap_device=dev, num_partitions=partitions
+    )
+    return SparkContext(vm, conf)
+
+
+class TestPartitions:
+    def test_make_partitions_even_split(self):
+        parts = make_partitions(64 * KiB, 4, chunk_size=8 * KiB)
+        assert len(parts) == 4
+        assert all(p.num_chunks == 2 for p in parts)
+        assert sum(p.size_bytes for p in parts) == 64 * KiB
+
+    def test_partition_at_least_one_chunk(self):
+        parts = make_partitions(1024, 4, chunk_size=8 * KiB)
+        assert all(p.num_chunks == 1 for p in parts)
+
+
+class TestRDD:
+    def test_ids_unique(self):
+        ctx = make_ctx()
+        a = ctx.range_rdd(64 * KiB)
+        b = ctx.range_rdd(64 * KiB)
+        assert a.rdd_id != b.rdd_id
+
+    def test_map_scales_size(self):
+        ctx = make_ctx()
+        base = ctx.range_rdd(640 * KiB)
+        half = base.map(size_factor=0.5)
+        assert half.size_bytes == pytest.approx(
+            base.size_bytes * 0.5, rel=0.2
+        )
+        assert half.parent is base
+
+    def test_evaluate_materialises_all_partitions(self):
+        ctx = make_ctx()
+        rdd = ctx.range_rdd(64 * KiB)
+        total = rdd.evaluate()
+        assert total >= rdd.size_bytes
+
+    def test_uncached_partitions_are_garbage(self):
+        ctx = make_ctx()
+        rdd = ctx.range_rdd(64 * KiB)
+        rdd.evaluate()
+        vm = ctx.vm
+        used = vm.heap.used()
+        vm.minor_gc()
+        assert vm.heap.used() < used
+
+    def test_persist_keeps_partitions(self):
+        ctx = make_ctx(policy=CachePolicy.MO)
+        rdd = ctx.range_rdd(64 * KiB).persist()
+        rdd.evaluate()
+        vm = ctx.vm
+        vm.minor_gc()
+        vm.major_gc()
+        entry = ctx.block_manager.entries[(rdd.rdd_id, 0)]
+        assert entry.partition.root.space is not SpaceId.FREED
+
+    def test_unpersist_releases(self):
+        ctx = make_ctx(policy=CachePolicy.MO)
+        rdd = ctx.range_rdd(64 * KiB).persist()
+        rdd.evaluate()
+        rdd.unpersist()
+        assert (rdd.rdd_id, 0) not in ctx.block_manager.entries
+
+
+class TestBlockManagerSD:
+    def test_overflow_serialized_offheap(self):
+        ctx = make_ctx(policy=CachePolicy.SD, heap_gb=2)
+        rdd = ctx.range_rdd(gb(3)).persist()  # exceeds 50% of 2 GB heap
+        rdd.evaluate()
+        kinds = {e.kind for e in ctx.block_manager.entries.values()}
+        assert "blob" in kinds
+        assert ctx.block_manager.offheap_bytes > 0
+
+    def test_offheap_access_deserializes_every_time(self):
+        ctx = make_ctx(policy=CachePolicy.SD, heap_gb=2)
+        rdd = ctx.range_rdd(gb(3)).persist()
+        rdd.evaluate()
+        before = ctx.block_manager.deserializations
+        rdd.foreach_cached(ops_per_chunk=1)
+        assert ctx.block_manager.deserializations > before
+        assert ctx.vm.clock.total(Bucket.SD_IO) > 0
+
+    def test_onheap_budget_respected(self):
+        ctx = make_ctx(policy=CachePolicy.SD, heap_gb=2)
+        rdd = ctx.range_rdd(gb(3)).persist()
+        rdd.evaluate()
+        assert (
+            ctx.block_manager.onheap_used
+            <= ctx.block_manager.onheap_budget
+        )
+
+
+class TestBlockManagerMO:
+    def test_mo_evicts_and_recomputes(self):
+        ctx = make_ctx(policy=CachePolicy.MO, heap_gb=2)
+        rdd = ctx.range_rdd(gb(3)).persist()
+        rdd.evaluate()
+        bm = ctx.block_manager
+        assert getattr(bm, "drops", 0) > 0
+        # Dropped partitions recompute on access without error.
+        rdd.foreach_cached(ops_per_chunk=1)
+
+
+class TestBlockManagerTeraHeap:
+    def test_partitions_tagged_and_moved(self):
+        ctx = make_ctx(policy=CachePolicy.TERAHEAP, th=True)
+        rdd = ctx.range_rdd(gb(1)).persist()
+        rdd.evaluate()
+        vm = ctx.vm
+        vm.major_gc()
+        entry = ctx.block_manager.entries[(rdd.rdd_id, 0)]
+        assert entry.partition.root.space is SpaceId.H2
+        assert entry.partition.root.label == rdd.cache_label
+
+    def test_no_deserialization_under_teraheap(self):
+        ctx = make_ctx(policy=CachePolicy.TERAHEAP, th=True)
+        rdd = ctx.range_rdd(gb(1)).persist()
+        rdd.evaluate()
+        ctx.vm.major_gc()
+        rdd.foreach_cached(ops_per_chunk=1)
+        assert ctx.block_manager.deserializations == 0
+
+    def test_unpersist_allows_region_reclaim(self):
+        ctx = make_ctx(policy=CachePolicy.TERAHEAP, th=True)
+        rdd = ctx.range_rdd(gb(1)).persist()
+        rdd.evaluate()
+        vm = ctx.vm
+        vm.major_gc()
+        rdd.unpersist()
+        vm.major_gc()
+        assert vm.h2.regions_reclaimed > 0
+
+
+class TestShuffle:
+    def test_shuffle_charges_sd_and_device(self):
+        ctx = make_ctx()
+        ctx.shuffle(256 * KiB)
+        assert ctx.vm.clock.total(Bucket.SD_IO) > 0
+        assert ctx.conf.offheap_device.traffic.bytes_written > 0
+        assert ctx.shuffle_manager.shuffles == 1
+
+    def test_zero_bytes_noop(self):
+        ctx = make_ctx()
+        ctx.shuffle(0)
+        assert ctx.shuffle_manager.shuffles == 0
+
+    def test_cleaner_gc_fires(self):
+        ctx = make_ctx()
+        interval = ctx.shuffle_manager.CLEANER_GC_INTERVAL
+        for _ in range(interval):
+            ctx.shuffle(8 * KiB)
+        assert ctx.vm.collector.stats.major_count >= 1
+
+
+@pytest.mark.parametrize("name", sorted(SPARK_WORKLOADS))
+def test_workloads_run_under_teraheap(name):
+    ctx = make_ctx(policy=CachePolicy.TERAHEAP, th=True, heap_gb=8)
+    SPARK_WORKLOADS[name](ctx, gb(4), scale=0.2)
+    assert ctx.vm.elapsed() > 0
+
+
+def test_teraheap_beats_sd_on_iterative_workload():
+    """The headline claim at small scale: same heap, TH faster."""
+    totals = {}
+    for policy, th in [(CachePolicy.SD, False), (CachePolicy.TERAHEAP, True)]:
+        ctx = make_ctx(policy=policy, th=th, heap_gb=6)
+        SPARK_WORKLOADS["LR"](ctx, gb(7), scale=0.3)
+        totals[policy] = ctx.vm.elapsed()
+    assert totals[CachePolicy.TERAHEAP] < totals[CachePolicy.SD]
