@@ -31,12 +31,19 @@ from .config import (
 )
 from .errors import (
     ConfigError,
+    DegradationError,
+    DeviceFullError,
+    DeviceIOError,
     InvalidHintError,
+    InvariantViolation,
     OutOfMemoryError,
     ReproError,
     SegmentationFault,
     SerializationError,
 )
+from .faults import FaultConfig, FaultInjector, FaultKind, FaultPlan
+from .faults.policy import ResiliencePolicy, RetryPolicy
+from .heap.audit import AuditLevel, HeapAuditor, Violation
 from .heap.object_model import HeapObject, SpaceId
 from .runtime import JavaVM
 from .units import GB, MB, TB, gb, mb
@@ -44,25 +51,38 @@ from .units import GB, MB, TB, gb, mb
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditLevel",
     "Bucket",
     "Clock",
     "ConfigError",
     "CostModel",
+    "DegradationError",
+    "DeviceFullError",
+    "DeviceIOError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "G1Config",
     "GB",
+    "HeapAuditor",
     "HeapObject",
     "InvalidHintError",
+    "InvariantViolation",
     "JavaVM",
     "MB",
     "OutOfMemoryError",
     "PantheraConfig",
     "ReproError",
+    "ResiliencePolicy",
+    "RetryPolicy",
     "SegmentationFault",
     "SerializationError",
     "SpaceId",
     "TB",
     "TeraHeapConfig",
     "VMConfig",
+    "Violation",
     "gb",
     "mb",
 ]

@@ -22,6 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import faults as faults_mod
+from .faults.plan import FaultConfig
 from .experiments import (
     barrier,
     fig06,
@@ -69,11 +71,45 @@ def main(argv=None) -> int:
         choices=["spark-sd", "spark-mo", "panthera"],
         help="figure 12 panel",
     )
+    parser.add_argument(
+        "--faults",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject deterministic H2 faults with this seed",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.01,
+        help="per-operation fault probability (with --faults)",
+    )
+    parser.add_argument(
+        "--audit",
+        choices=["cheap", "full"],
+        default=None,
+        help="verify heap invariants after every GC cycle",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         print("\n".join(EXPERIMENTS))
         return 0
+
+    if args.faults is not None:
+        rate = args.fault_rate
+        faults_mod.set_default_fault_config(
+            FaultConfig(
+                seed=args.faults,
+                read_error_rate=rate,
+                write_error_rate=rate,
+                latency_spike_rate=rate,
+                sigbus_rate=rate / 4,
+                device_full_rate=rate / 10,
+            )
+        )
+    if args.audit is not None:
+        faults_mod.set_default_audit_level(args.audit)
     if args.experiment == "table5":
         print(table5.format_results(table5.run()))
     elif args.experiment == "barrier":
@@ -135,6 +171,19 @@ def main(argv=None) -> int:
                     for ds, r in sorted(per_ds.items())
                 )
                 print(f"{workload} {system}: {row}")
+
+    if args.faults is not None or args.audit is not None:
+        summary = faults_mod.resilience_summary()
+        print(
+            "resilience: "
+            f"faults_injected={summary['faults_injected']:.0f} "
+            f"ops_retried={summary['ops_retried']:.0f} "
+            f"retry_exhaustions={summary['retry_exhaustions']:.0f} "
+            f"degradations={summary['degradations']:.0f} "
+            f"audits_run={summary['audits_run']:.0f} "
+            f"invariant_violations={summary['invariant_violations']:.0f}"
+        )
+        faults_mod.reset_defaults()
     return 0
 
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .errors import ConfigError
+from .faults.plan import FaultConfig
 from .units import GB, KiB, MB, MiB
 
 
@@ -174,10 +175,25 @@ class VMConfig:
     cost: CostModel = field(default_factory=CostModel)
     #: DRAM available to the OS page cache (the paper's DR2)
     page_cache_size: int = 16 * GB
+    #: fault injection + H2 resilience parameters; ``None`` disables
+    #: injection unless a process-global default is installed via
+    #: :func:`repro.faults.set_default_fault_config`
+    faults: Optional[FaultConfig] = None
+    #: post-GC invariant auditing: ``None`` (off), "cheap" or "full";
+    #: overridable by the ``REPRO_AUDIT`` environment variable
+    audit: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.heap_size <= 0:
             raise ConfigError("heap_size must be positive")
+        if self.audit is not None and str(self.audit).lower() not in (
+            "cheap",
+            "full",
+        ):
+            raise ConfigError(
+                f"unknown audit level {self.audit!r}; "
+                "expected 'cheap' or 'full'"
+            )
         if not 0.0 < self.young_fraction < 1.0:
             raise ConfigError("young_fraction must be in (0, 1)")
         if self.collector not in ("ps", "ps11", "g1", "panthera", "memmode"):

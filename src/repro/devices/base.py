@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 import enum
 from dataclasses import dataclass, field
 
@@ -66,6 +67,19 @@ class Device:
     random_penalty: float = 1.0
     clock: Clock = field(default_factory=Clock)
     traffic: DeviceTraffic = field(default_factory=DeviceTraffic)
+
+    # ------------------------------------------------------------------
+    def rebind(self, clock: Clock) -> "Device":
+        """A copy of this device charging ``clock``, with fresh counters.
+
+        VMs rebind devices passed in from outside instead of mutating
+        them, so a device instance shared across VM constructions never
+        has its clock or traffic statistics hijacked by the newest VM.
+        """
+        clone = copy.copy(self)
+        clone.clock = clock
+        clone.traffic = DeviceTraffic()
+        return clone
 
     # ------------------------------------------------------------------
     def _granular(self, nbytes: int) -> int:

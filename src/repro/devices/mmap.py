@@ -34,6 +34,7 @@ class MappedFile:
         size: int,
         cache: PageCache,
         huge_pages: bool = False,
+        fault_plan=None,
     ):
         if size <= 0:
             raise ValueError("mapping size must be positive")
@@ -44,6 +45,9 @@ class MappedFile:
         self.page_size = HUGE_PAGE if huge_pages else BASE_PAGE
         self.huge_pages = huge_pages
         self.page_faults = 0
+        #: optional FaultPlan consulted on faulting accesses (SIGBUS)
+        self.fault_plan = fault_plan
+        self.sigbus_count = 0
         # Scale the cache's page granularity to the mapping's.
         if cache.page_size != self.page_size:
             cache.page_size = self.page_size
@@ -65,6 +69,27 @@ class MappedFile:
         last = (address - self.base + max(nbytes, 1) - 1) // self.page_size
         return range(first, last + 1)
 
+    def _maybe_sigbus(self, address: int, misses: int) -> None:
+        """Simulated SIGBUS: an I/O error surfacing through a page fault.
+
+        Consulted only when the access actually faulted pages in (the
+        kernel delivers SIGBUS from its fault handler, never on a cache
+        hit).  The faulted pages stay cached, so a retry of the same
+        access hits the cache and succeeds — matching a transient media
+        error that clears on the kernel's own retry.
+        """
+        if misses == 0 or self.fault_plan is None:
+            return
+        if self.fault_plan.page_fault_outcome(self.device.name, address):
+            self.sigbus_count += 1
+            fault = SegmentationFault(
+                f"simulated SIGBUS faulting {address:#x} on "
+                f"{self.device.name}",
+                address=address,
+            )
+            fault.sigbus = True
+            raise fault
+
     # ------------------------------------------------------------------
     def load(
         self,
@@ -76,6 +101,7 @@ class MappedFile:
         pages = self._pages_for(address, nbytes)
         hits, misses = self.cache.access(pages, write=False, pattern=pattern)
         self.page_faults += misses
+        self._maybe_sigbus(address, misses)
         return hits, misses
 
     def store(
@@ -92,6 +118,7 @@ class MappedFile:
         pages = self._pages_for(address, nbytes)
         hits, misses = self.cache.access(pages, write=True, pattern=pattern)
         self.page_faults += misses
+        self._maybe_sigbus(address, misses)
         return hits, misses
 
     def write_explicit(self, address: int, nbytes: int) -> int:

@@ -12,17 +12,95 @@ class OutOfMemoryError(ReproError):
 
     Mirrors ``java.lang.OutOfMemoryError``: the collector ran and the
     requested allocation still does not fit.  Experiment drivers catch this
-    to render the paper's "OOM" bars.
+    to render the paper's "OOM" bars.  When the VM has fallen back to the
+    in-H1 serialization path after H2 degradation, ``context`` carries the
+    fallback description so OOM reports name the degraded configuration.
     """
 
-    def __init__(self, message: str, requested: int = 0, available: int = 0):
+    def __init__(
+        self,
+        message: str,
+        requested: int = 0,
+        available: int = 0,
+        context: str = "",
+    ):
         super().__init__(message)
         self.requested = requested
         self.available = available
+        self.context = context
 
 
 class SegmentationFault(ReproError):
-    """Raised on access to an address outside any mapped space."""
+    """Raised on access to an address outside any mapped space.
+
+    Like :class:`OutOfMemoryError`, the fault carries structured context:
+    the faulting ``address`` and the ``space`` the access targeted (a
+    :class:`~repro.heap.object_model.SpaceId` or ``None`` when unknown).
+    A simulated SIGBUS — an I/O error surfacing through a file-backed
+    mapping — additionally sets ``sigbus`` so resilience policies can
+    distinguish retryable mmap faults from genuine wild accesses.
+    """
+
+    def __init__(self, message: str, address: int = -1, space=None):
+        super().__init__(message)
+        self.address = address
+        self.space = space
+        self.sigbus = False
+
+
+class DeviceIOError(ReproError):
+    """A device read or write failed.
+
+    ``transient`` faults (the common NVMe/NVM case: a correctable media
+    error, a timeout under load) are retryable; persistent faults are not.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        device: str = "",
+        op: str = "",
+        transient: bool = True,
+    ):
+        super().__init__(message)
+        self.device = device
+        self.op = op
+        self.transient = transient
+
+
+class DeviceFullError(DeviceIOError):
+    """The device cannot satisfy an allocation (H2 region backing store).
+
+    Always non-transient: retrying an allocation against a full device
+    cannot succeed, so resilience policies count it straight against the
+    failure budget instead of retrying.
+    """
+
+    def __init__(self, message: str, device: str = "", requested: int = 0):
+        super().__init__(message, device=device, op="allocate", transient=False)
+        self.requested = requested
+
+
+class InvariantViolation(ReproError):
+    """A post-GC heap audit found inconsistent runtime state.
+
+    ``violations`` holds the structured findings (objects with ``check``,
+    ``subject``, ``expected`` and ``actual`` attributes); the message is a
+    diff-style report assembled by the auditor.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = list(violations)
+
+
+class DegradationError(ReproError):
+    """An H2 transfer was attempted while H2 is degraded (disabled).
+
+    After the resilience failure budget is exhausted the collector stops
+    selecting H2 movers; any path that still tries to place objects in H2
+    is a bug and trips this error.
+    """
 
 
 class InvalidHintError(ReproError):

@@ -7,7 +7,7 @@ cache (DR2); Giraph's DR2 is per-workload (Table 4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 #: DRAM reserved for system use (driver + page cache) in Spark runs (§6)

@@ -13,7 +13,6 @@ from typing import List
 
 from ..gc.base import GCCycle
 from .configs import SPARK_WORKLOADS_TABLE3
-from .runner import run_spark_workload
 
 
 @dataclass

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..metrics.report import ExperimentResult
-from .configs import GIRAPH_WORKLOADS_TABLE4, GiraphWorkloadConfig
+from .configs import GIRAPH_WORKLOADS_TABLE4
 from .runner import run_giraph_workload
 
 

@@ -20,7 +20,7 @@ from typing import Dict, List
 
 from ..runtime import JavaVM
 from ..teraheap.regions import RegionLiveness
-from ..units import KiB, mb
+from ..units import mb
 from .configs import GIRAPH_WORKLOADS_TABLE4
 from .runner import run_giraph_workload
 
@@ -58,19 +58,19 @@ class RegionCDF:
     def reclaimed_fraction(self) -> float:
         if not self.liveness:
             return 0.0
-        dead = sum(1 for l in self.liveness if l.live_objects == 0)
+        dead = sum(1 for lv in self.liveness if lv.live_objects == 0)
         return dead / len(self.liveness)
 
     def live_object_fractions(self) -> List[float]:
-        return sorted(l.live_object_fraction for l in self.liveness)
+        return sorted(lv.live_object_fraction for lv in self.liveness)
 
     def live_space_fractions(self) -> List[float]:
-        return sorted(l.live_space_fraction for l in self.liveness)
+        return sorted(lv.live_space_fraction for lv in self.liveness)
 
     def mean_unused_fraction(self) -> float:
         if not self.liveness:
             return 0.0
-        return sum(l.unused_fraction for l in self.liveness) / len(
+        return sum(lv.unused_fraction for lv in self.liveness) / len(
             self.liveness
         )
 

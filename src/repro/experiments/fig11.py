@@ -13,7 +13,7 @@ object transfer (37-44% of major GC).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..units import KiB
 from .configs import GIRAPH_WORKLOADS_TABLE4

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..metrics.report import ExperimentResult, normalize
+from ..metrics.report import ExperimentResult
 from .configs import PANTHERA_WORKLOADS, SPARK_WORKLOADS_TABLE3, SparkWorkloadConfig
 from .runner import run_spark_workload
 

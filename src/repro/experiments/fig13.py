@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..metrics.report import ExperimentResult
 from .configs import (

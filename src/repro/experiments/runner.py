@@ -18,7 +18,7 @@ from typing import Optional
 
 from ..config import PantheraConfig, TeraHeapConfig, VMConfig
 from ..devices.base import Device
-from ..devices.nvm import NVM, NVMMemoryMode
+from ..devices.nvm import NVM
 from ..devices.nvme import NVMeSSD
 from ..errors import OutOfMemoryError
 from ..frameworks.giraph import GiraphConf, GiraphMode

@@ -1,0 +1,129 @@
+"""Fault injection and H2 I/O resilience.
+
+The package has three layers:
+
+- :mod:`~repro.faults.plan` — deterministic seed-driven fault schedules
+  (:class:`FaultPlan` / :class:`FaultConfig`);
+- :mod:`~repro.faults.injector` — the :class:`FaultInjector` device proxy
+  that makes every device in the H2 stack participate;
+- :mod:`~repro.faults.policy` — :class:`RetryPolicy` (bounded backoff)
+  and :class:`ResiliencePolicy` (failure budget + graceful degradation).
+
+A small process-global registry lets the CLI (``--faults`` / ``--audit``)
+arm injection for every VM an experiment builds without threading config
+through each ``build_*_vm`` helper: :func:`set_default_fault_config` and
+:func:`set_default_audit_level` install defaults that
+:class:`~repro.runtime.JavaVM` picks up when its own ``VMConfig`` does
+not specify them, and the policies created that way are registered here
+so the CLI can print an aggregate summary afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .events import DegradationEvent, FaultEvent, ResilienceLog, RetryEvent
+from .injector import FaultInjector
+from .plan import FaultConfig, FaultKind, FaultPlan, FaultRecord, IOOutcome
+from .policy import ResiliencePolicy, RetryPolicy, is_transient
+
+__all__ = [
+    "FaultConfig",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRecord",
+    "IOOutcome",
+    "FaultInjector",
+    "FaultEvent",
+    "RetryEvent",
+    "DegradationEvent",
+    "ResilienceLog",
+    "RetryPolicy",
+    "ResiliencePolicy",
+    "is_transient",
+    "set_default_fault_config",
+    "get_default_fault_config",
+    "set_default_audit_level",
+    "get_default_audit_level",
+    "registered_policies",
+    "registered_auditors",
+    "reset_defaults",
+    "resilience_summary",
+]
+
+_default_fault_config: Optional[FaultConfig] = None
+_default_audit_level: Optional[str] = None
+# Policies/auditors created from the *global* defaults (i.e. by VMs whose
+# own config did not ask for them).  Bounded by the number of VMs an
+# experiment builds, and cleared by reset_defaults().
+_policies: List[ResiliencePolicy] = []
+_auditors: List[object] = []
+
+
+def set_default_fault_config(config: Optional[FaultConfig]) -> None:
+    """Install the fault config VMs use when theirs is unset."""
+    global _default_fault_config
+    _default_fault_config = config
+
+
+def get_default_fault_config() -> Optional[FaultConfig]:
+    return _default_fault_config
+
+
+def set_default_audit_level(level: Optional[str]) -> None:
+    """Install the audit level ("cheap"/"full") VMs use when unset."""
+    global _default_audit_level
+    _default_audit_level = level
+
+
+def get_default_audit_level() -> Optional[str]:
+    return _default_audit_level
+
+
+def register_policy(policy: ResiliencePolicy) -> None:
+    _policies.append(policy)
+
+
+def register_auditor(auditor: object) -> None:
+    _auditors.append(auditor)
+
+
+def registered_policies() -> List[ResiliencePolicy]:
+    return list(_policies)
+
+
+def registered_auditors() -> List[object]:
+    return list(_auditors)
+
+
+def reset_defaults() -> None:
+    """Clear global defaults and registries (tests, CLI teardown)."""
+    global _default_fault_config, _default_audit_level
+    _default_fault_config = None
+    _default_audit_level = None
+    _policies.clear()
+    _auditors.clear()
+
+
+def resilience_summary() -> Dict[str, float]:
+    """Aggregate counters across every registered policy and auditor."""
+    totals: Dict[str, float] = {
+        "faults_injected": 0.0,
+        "faults_seen": 0.0,
+        "ops_retried": 0.0,
+        "retry_exhaustions": 0.0,
+        "degradations": 0.0,
+        "backoff_seconds": 0.0,
+        "audits_run": 0.0,
+        "invariant_violations": 0.0,
+    }
+    for policy in _policies:
+        totals["faults_injected"] += policy.plan.total_injected
+        for key, value in policy.log.summary().items():
+            totals[key] += value
+    for auditor in _auditors:
+        totals["audits_run"] += getattr(auditor, "audits_run", 0)
+        totals["invariant_violations"] += getattr(
+            auditor, "violations_found", 0
+        )
+    return totals

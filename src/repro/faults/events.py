@@ -1,0 +1,95 @@
+"""Structured resilience events: faults seen, retries spent, degradations.
+
+Everything the fault/retry/degradation machinery does is logged here so
+experiment reports can assert statements like "N faults injected, M ops
+retried, K degraded, 0 invariant violations" (the acceptance shape of a
+resilient run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class FaultEvent:
+    """One fault observed at a device or mapping boundary."""
+
+    time: float
+    device: str
+    op: str
+    kind: str
+    detail: str = ""
+
+
+@dataclass
+class RetryEvent:
+    """One completed retry loop around an H2 operation."""
+
+    time: float
+    op: str
+    attempts: int
+    delay: float
+    success: bool
+
+
+@dataclass
+class DegradationEvent:
+    """H2 transfers were disabled after the failure budget ran out."""
+
+    time: float
+    reason: str
+    failures: int
+
+
+class ResilienceLog:
+    """Accumulates fault/retry/degradation events for one VM."""
+
+    def __init__(self) -> None:
+        self.faults: List[FaultEvent] = []
+        self.retries: List[RetryEvent] = []
+        self.degradations: List[DegradationEvent] = []
+
+    # ------------------------------------------------------------------
+    def record_fault(
+        self, time: float, device: str, op: str, kind: str, detail: str = ""
+    ) -> None:
+        self.faults.append(FaultEvent(time, device, op, kind, detail))
+
+    def record_retry(
+        self, time: float, op: str, attempts: int, delay: float, success: bool
+    ) -> None:
+        self.retries.append(RetryEvent(time, op, attempts, delay, success))
+
+    def record_degradation(
+        self, time: float, reason: str, failures: int
+    ) -> None:
+        self.degradations.append(DegradationEvent(time, reason, failures))
+
+    # ------------------------------------------------------------------
+    @property
+    def faults_seen(self) -> int:
+        return len(self.faults)
+
+    @property
+    def ops_retried(self) -> int:
+        return sum(1 for r in self.retries if r.success)
+
+    @property
+    def retry_exhaustions(self) -> int:
+        return sum(1 for r in self.retries if not r.success)
+
+    @property
+    def degraded_count(self) -> int:
+        return len(self.degradations)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat counters, ready to merge into an experiment result."""
+        return {
+            "faults_seen": float(self.faults_seen),
+            "ops_retried": float(self.ops_retried),
+            "retry_exhaustions": float(self.retry_exhaustions),
+            "degradations": float(self.degraded_count),
+            "backoff_seconds": sum(r.delay for r in self.retries),
+        }

@@ -1,0 +1,119 @@
+"""The fault-injecting device wrapper.
+
+A :class:`FaultInjector` fronts any :class:`~repro.devices.base.Device`
+and consults a :class:`~repro.faults.plan.FaultPlan` on every read and
+write.  Because the page cache, the memory mapping and the promotion
+buffers all talk to "the device" through the same two methods, wrapping
+one object makes every layer of the H2 I/O stack participate in fault
+injection without per-device code — NVMe, NVM, the mmap fault path and
+page-cache writeback all inherit it.
+
+Cost accounting on faults mirrors real hardware: a failed request still
+costs the device's access latency (the request travelled to the device
+and came back with an error), and a latency spike charges the access at
+``multiplier`` times its normal cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..devices.base import AccessPattern, Device
+from ..errors import DeviceIOError
+from .events import ResilienceLog
+from .plan import FaultKind, FaultPlan
+
+
+class FaultInjector:
+    """Proxy device: delegates everything, injects faults on read/write."""
+
+    def __init__(
+        self,
+        inner: Device,
+        plan: FaultPlan,
+        log: Optional[ResilienceLog] = None,
+    ):
+        self.inner = inner
+        self.plan = plan
+        self.log = log if log is not None else ResilienceLog()
+
+    # ------------------------------------------------------------------
+    # Device protocol
+    # ------------------------------------------------------------------
+    @property
+    def clock(self):
+        return self.inner.clock
+
+    @clock.setter
+    def clock(self, value) -> None:
+        self.inner.clock = value
+
+    def _fail(self, op: str, latency: float, requests: int) -> None:
+        """Charge a failed attempt and raise the transient I/O error."""
+        kind = FaultKind.READ_ERROR if op == "read" else FaultKind.WRITE_ERROR
+        cost = latency * max(requests, 1)
+        self.inner.clock.charge(cost)
+        self.log.record_fault(
+            self.inner.clock.now, self.inner.name, op, kind.value
+        )
+        raise DeviceIOError(
+            f"injected transient {op} error on {self.inner.name}",
+            device=self.inner.name,
+            op=op,
+            transient=True,
+        )
+
+    def _spike(self, op: str, base_cost: float, multiplier: float) -> float:
+        """Charge the latency-spike surcharge on top of a completed op."""
+        extra = base_cost * (multiplier - 1.0)
+        self.inner.clock.charge(extra)
+        self.log.record_fault(
+            self.inner.clock.now,
+            self.inner.name,
+            op,
+            FaultKind.LATENCY_SPIKE.value,
+            detail=f"x{multiplier:g}",
+        )
+        return extra
+
+    def read(
+        self,
+        nbytes: int,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        requests: int = 1,
+    ) -> float:
+        outcome = self.plan.io_outcome(write=False, device=self.inner.name)
+        if outcome is not None and outcome.kind is FaultKind.READ_ERROR:
+            self._fail("read", self.inner.read_latency, requests)
+        cost = self.inner.read(nbytes, pattern, requests)
+        if outcome is not None and outcome.kind is FaultKind.LATENCY_SPIKE:
+            cost += self._spike("read", cost, outcome.multiplier)
+        return cost
+
+    def write(
+        self,
+        nbytes: int,
+        pattern: AccessPattern = AccessPattern.SEQUENTIAL,
+        requests: int = 1,
+    ) -> float:
+        outcome = self.plan.io_outcome(write=True, device=self.inner.name)
+        if outcome is not None and outcome.kind is FaultKind.WRITE_ERROR:
+            self._fail("write", self.inner.write_latency, requests)
+        cost = self.inner.write(nbytes, pattern, requests)
+        if outcome is not None and outcome.kind is FaultKind.LATENCY_SPIKE:
+            cost += self._spike("write", cost, outcome.multiplier)
+        return cost
+
+    def read_modify_write(self, nbytes: int) -> float:
+        return self.read(nbytes, AccessPattern.RANDOM) + self.write(
+            nbytes, AccessPattern.RANDOM
+        )
+
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str):
+        # Everything else (name, capacity, traffic, page_size, ...) is the
+        # wrapped device's business.
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultInjector over {self.inner.name}>"

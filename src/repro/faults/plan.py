@@ -1,0 +1,180 @@
+"""Deterministic, seed-driven fault plans.
+
+A :class:`FaultPlan` decides — one pseudo-random draw per queried
+operation — whether a device access, region allocation or page fault
+should fail, and how.  Because the simulator issues device operations in
+a deterministic order, the same seed always produces the *byte-identical*
+fault schedule, which is what makes fault-injection runs reproducible and
+lets tests assert on exact final clock totals.
+
+The plan models the failure modes real NVMe/NVM deployments hit
+(Section 4.2 of the paper motivates why the H2 path must survive them):
+
+- transient read/write I/O errors (correctable media errors, timeouts);
+- latency spikes (device-internal GC, thermal throttling);
+- device-full conditions on H2 region allocation;
+- SIGBUS on page faults through the H2 file mapping (an I/O error
+  surfacing through the kernel's fault handler rather than a syscall).
+"""
+
+from __future__ import annotations
+
+import enum
+from contextlib import contextmanager
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Iterator, List, Optional
+
+
+class FaultKind(enum.Enum):
+    """The injectable failure modes."""
+
+    READ_ERROR = "read_error"
+    WRITE_ERROR = "write_error"
+    LATENCY_SPIKE = "latency_spike"
+    DEVICE_FULL = "device_full"
+    SIGBUS = "sigbus"
+
+
+@dataclass
+class FaultConfig:
+    """Parameters of a fault plan plus the resilience policy around it.
+
+    Rates are per *queried operation* probabilities in [0, 1].  Backoff
+    delays are simulated seconds charged to the VM clock, so retry stalls
+    show up in the paper-style execution breakdown like any other cost.
+    """
+
+    seed: int = 42
+    #: transient error probability per device read / write
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    #: latency-spike probability per device access, and the multiplier
+    #: applied to the access cost when one fires
+    latency_spike_rate: float = 0.0
+    latency_spike_multiplier: float = 8.0
+    #: device-full probability per H2 region allocation
+    device_full_rate: float = 0.0
+    #: simulated-SIGBUS probability per faulting mapped access
+    sigbus_rate: float = 0.0
+    # --- retry policy -------------------------------------------------
+    #: total attempts (first try + retries) before an op counts as failed
+    max_attempts: int = 4
+    #: first backoff delay in simulated seconds; doubles per retry
+    backoff_base: float = 100e-6
+    backoff_factor: float = 2.0
+    # --- degradation --------------------------------------------------
+    #: failed operations (retry exhaustions + device-full denials)
+    #: tolerated before H2 transfers are disabled
+    failure_budget: int = 3
+    #: whether exceeding the budget degrades (False: keep limping along)
+    degrade: bool = True
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, as scheduled by the plan."""
+
+    op_index: int
+    kind: FaultKind
+    device: str
+    detail: str = ""
+
+    def line(self) -> str:
+        return f"{self.op_index}\t{self.kind.value}\t{self.device}\t{self.detail}"
+
+
+@dataclass
+class IOOutcome:
+    """The plan's verdict for one device access."""
+
+    kind: FaultKind
+    multiplier: float = 1.0
+
+
+class FaultPlan:
+    """Seed-driven fault schedule, advanced one draw per queried op."""
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self._rng = Random(config.seed)
+        self.op_index = 0
+        self.schedule: List[FaultRecord] = []
+        self.injected: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
+        self._suspended = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def suspended(self) -> bool:
+        return self._suspended > 0
+
+    @contextmanager
+    def suspend(self) -> Iterator[None]:
+        """Disable injection for a forced (already-degraded) operation.
+
+        Suspended queries do not consume random draws, so a fallback
+        re-execution never perturbs the schedule of later operations.
+        """
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: FaultKind, device: str, detail: str = "") -> None:
+        self.injected[kind] += 1
+        self.schedule.append(
+            FaultRecord(self.op_index, kind, device, detail)
+        )
+
+    def io_outcome(self, write: bool, device: str) -> Optional[IOOutcome]:
+        """Verdict for one device read/write; ``None`` means no fault."""
+        if self.suspended:
+            return None
+        cfg = self.config
+        self.op_index += 1
+        draw = self._rng.random()
+        error_rate = cfg.write_error_rate if write else cfg.read_error_rate
+        if draw < error_rate:
+            kind = FaultKind.WRITE_ERROR if write else FaultKind.READ_ERROR
+            self._record(kind, device)
+            return IOOutcome(kind)
+        if draw < error_rate + cfg.latency_spike_rate:
+            mult = cfg.latency_spike_multiplier
+            self._record(
+                FaultKind.LATENCY_SPIKE, device, detail=f"x{mult:g}"
+            )
+            return IOOutcome(FaultKind.LATENCY_SPIKE, multiplier=mult)
+        return None
+
+    def allocation_fault(self, device: str, requested: int = 0) -> bool:
+        """Should this H2 region allocation hit a device-full condition?"""
+        if self.suspended:
+            return False
+        self.op_index += 1
+        if self._rng.random() < self.config.device_full_rate:
+            self._record(
+                FaultKind.DEVICE_FULL, device, detail=f"{requested}B"
+            )
+            return True
+        return False
+
+    def page_fault_outcome(self, device: str, address: int) -> bool:
+        """Should this faulting mapped access take a simulated SIGBUS?"""
+        if self.suspended:
+            return False
+        self.op_index += 1
+        if self._rng.random() < self.config.sigbus_rate:
+            self._record(FaultKind.SIGBUS, device, detail=f"{address:#x}")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def schedule_digest(self) -> str:
+        """Canonical text form of the schedule, for byte-identity checks."""
+        return "\n".join(record.line() for record in self.schedule)

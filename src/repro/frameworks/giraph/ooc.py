@@ -10,7 +10,7 @@ and the reloaded bytes immediately count as heap pressure again.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING
 
 from ...clock import Bucket
 from ...devices.page_cache import PageCache

@@ -8,7 +8,7 @@ sends into message-store allocations; the program layer is pure algorithm.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -15,11 +15,10 @@ policies correspond to the paper's configurations:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
 
 from ...clock import Bucket
-from ...heap.object_model import HeapObject
 from ...runtime import JavaVM
 from ...serdes.serializer import SerializedBlob
 from .conf import CachePolicy, SparkConf

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from ....units import KiB
 from ..context import SparkContext
 from .mllib import LARGE_BATCH
 

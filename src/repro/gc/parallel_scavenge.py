@@ -21,7 +21,7 @@ old-generation parallelism.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..clock import Bucket, Clock
 from ..config import VMConfig
@@ -107,8 +107,13 @@ class ParallelScavenge(Collector):
 
     def assign_h2_addresses(
         self, movers: "List[Tuple[HeapObject, str]]", epoch: int
-    ) -> None:
-        """Pre-compaction for movers: pick region + address per object."""
+    ) -> "List[Tuple[HeapObject, str]]":
+        """Pre-compaction for movers: pick region + address per object.
+
+        Returns the movers that actually received an H2 address; the
+        rest stay in H1 and compact with the stayers.
+        """
+        return movers
 
     def adjust_mover_references(
         self, movers: "List[Tuple[HeapObject, str]]", stayers: Set[int]
@@ -312,24 +317,29 @@ class ParallelScavenge(Collector):
                 self.clock.charge(work / self.major_parallelism)
             phases["marking"] = self.clock.now - t0
 
-            mover_ids = {obj.oid for obj, _ in movers}
-            # Sliding compaction: preserve address order so the stable
-            # prefix of long-lived data (e.g. the cached partitions at the
-            # bottom of the old gen) is not rewritten every major GC.
-            space_rank = {
-                SpaceId.OLD: 0,
-                SpaceId.EDEN: 1,
-                SpaceId.FROM: 2,
-                SpaceId.TO: 3,
-            }
-            stayers = sorted(
-                (o for o in live if o.oid not in mover_ids),
-                key=lambda o: (space_rank.get(o.space, 4), o.address),
-            )
-
             # ---------------- Phase 2: pre-compaction -------------------
             t0 = self.clock.now
             with self.clock.sub_context("precompact"):
+                # H2 placement runs first: a mover can be denied an H2
+                # address (device full, degraded H2) and must then be
+                # treated as a stayer, so the stayer set is only known
+                # after placement.
+                movers = self.assign_h2_addresses(movers, epoch)
+                mover_ids = {obj.oid for obj, _ in movers}
+                # Sliding compaction: preserve address order so the
+                # stable prefix of long-lived data (e.g. the cached
+                # partitions at the bottom of the old gen) is not
+                # rewritten every major GC.
+                space_rank = {
+                    SpaceId.OLD: 0,
+                    SpaceId.EDEN: 1,
+                    SpaceId.FROM: 2,
+                    SpaceId.TO: 3,
+                }
+                stayers = sorted(
+                    (o for o in live if o.oid not in mover_ids),
+                    key=lambda o: (space_rank.get(o.space, 4), o.address),
+                )
                 work = cost.gc_forward_cost * len(live)
                 total_stay = sum(o.size for o in stayers)
                 if total_stay > heap.old.capacity + heap.eden.capacity:
@@ -353,7 +363,6 @@ class ParallelScavenge(Collector):
                         obj.forward_space = SpaceId.EDEN
                         eden_cursor += obj.size
                         in_eden.append(obj)
-                self.assign_h2_addresses(movers, epoch)
                 self.clock.charge(work / self.major_parallelism)
             phases["precompact"] = self.clock.now - t0
 

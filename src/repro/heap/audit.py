@@ -1,0 +1,338 @@
+"""Post-GC invariant auditing.
+
+A :class:`HeapAuditor` re-derives, from first principles, the invariants
+the heap and TeraHeap metadata are supposed to maintain, and raises
+:class:`~repro.errors.InvariantViolation` with a diff-style report when
+reality disagrees.  It runs after each minor/major/H2 cycle (wired up by
+:class:`~repro.runtime.JavaVM` when auditing is enabled) and is pure
+observation: it charges nothing to the simulated clock and mutates no
+state.
+
+Two levels:
+
+- **cheap** — space/region accounting and address-map bijectivity: every
+  object sits inside its space at a unique, in-bounds, non-overlapping
+  address and the bump pointers agree with the object population.
+- **full** — additionally cross-checks the card tables and the H2
+  dependency metadata: old-to-young references are covered by dirty
+  cards, H2 cross-region references are closed under the dependency
+  lists (no H2→H1/H2 dangling refs), and region live bits agree with
+  the regions that survived the last major GC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import InvariantViolation
+from .heap import ManagedHeap
+from .object_model import SpaceId
+from .spaces import Space
+
+
+class AuditLevel(enum.Enum):
+    CHEAP = "cheap"
+    FULL = "full"
+
+    @classmethod
+    def parse(cls, value) -> "AuditLevel":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown audit level {value!r}; expected 'cheap' or 'full'"
+            ) from None
+
+
+@dataclass
+class Violation:
+    """One failed invariant check."""
+
+    check: str
+    subject: str
+    expected: str
+    actual: str
+
+    def lines(self) -> List[str]:
+        return [
+            f"[{self.check}] {self.subject}",
+            f"  - expected: {self.expected}",
+            f"  + actual:   {self.actual}",
+        ]
+
+
+class HeapAuditor:
+    """Verifies heap/TeraHeap invariants after each GC cycle."""
+
+    def __init__(
+        self,
+        heap: ManagedHeap,
+        h2=None,
+        level: AuditLevel = AuditLevel.CHEAP,
+    ):
+        self.heap = heap
+        self.h2 = h2
+        self.level = AuditLevel.parse(level)
+        self.audits_run = 0
+        self.violations_found = 0
+
+    # ------------------------------------------------------------------
+    def audit(self, trigger: str, epoch: int) -> None:
+        """Run all enabled checks; raise on any violation.
+
+        ``trigger`` names the cycle that just finished ("minor"/"major");
+        ``epoch`` is the collector's current mark epoch.
+        """
+        violations: List[Violation] = []
+        for space in self.heap.spaces():
+            self._check_space(space, violations)
+        if self.h2 is not None:
+            self._check_h2_regions(violations)
+        if self.level is AuditLevel.FULL:
+            self._check_card_coverage(violations)
+            if self.h2 is not None:
+                self._check_h2_references(violations)
+                if trigger == "major":
+                    self._check_live_bits(violations, epoch)
+        self.audits_run += 1
+        if violations:
+            self.violations_found += len(violations)
+            raise InvariantViolation(self._report(trigger, violations), violations)
+
+    @staticmethod
+    def _report(trigger: str, violations: List[Violation]) -> str:
+        lines = [
+            f"post-{trigger}-GC audit found {len(violations)} "
+            f"invariant violation(s):"
+        ]
+        for violation in violations:
+            lines.extend(violation.lines())
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Cheap checks: accounting and address-map bijectivity
+    # ------------------------------------------------------------------
+    def _check_space(self, space: Space, out: List[Violation]) -> None:
+        prev_end = space.base
+        prev_obj = None
+        total = 0
+        for obj in space.objects:
+            if obj.space is not space.space_id:
+                out.append(
+                    Violation(
+                        "space-membership",
+                        f"object #{obj.oid} listed in {space.name}",
+                        f"space={space.space_id.value}",
+                        f"space={obj.space.value}",
+                    )
+                )
+            if obj.address < space.base or obj.end_address() > space.top:
+                out.append(
+                    Violation(
+                        "address-bounds",
+                        f"object #{obj.oid} in {space.name}",
+                        f"extent within [{space.base:#x}, {space.top:#x})",
+                        f"[{obj.address:#x}, {obj.end_address():#x})",
+                    )
+                )
+            if obj.address < prev_end:
+                out.append(
+                    Violation(
+                        "address-overlap",
+                        f"objects #{prev_obj.oid} and #{obj.oid} "
+                        f"in {space.name}",
+                        f"#{obj.oid} starts at or after {prev_end:#x}",
+                        f"starts at {obj.address:#x}",
+                    )
+                )
+            prev_end = obj.end_address()
+            prev_obj = obj
+            total += obj.size
+        if total != space.used:
+            out.append(
+                Violation(
+                    "space-accounting",
+                    f"{space.name} bump pointer vs object population",
+                    f"used == sum(sizes) == {total}",
+                    f"used == {space.used}",
+                )
+            )
+
+    def _check_h2_regions(self, out: List[Violation]) -> None:
+        for region in self.h2.regions.values():
+            prev_end = region.start
+            prev_obj = None
+            total = 0
+            for obj in region.objects:
+                if obj.space is not SpaceId.H2:
+                    out.append(
+                        Violation(
+                            "h2-membership",
+                            f"object #{obj.oid} listed in region "
+                            f"{region.index}",
+                            "space=h2",
+                            f"space={obj.space.value}",
+                        )
+                    )
+                if obj.region_id != region.index:
+                    out.append(
+                        Violation(
+                            "h2-region-id",
+                            f"object #{obj.oid} in region {region.index}",
+                            f"region_id={region.index}",
+                            f"region_id={obj.region_id}",
+                        )
+                    )
+                resolved = self.h2.region_at(obj.address)
+                if resolved is not region:
+                    out.append(
+                        Violation(
+                            "h2-address-map",
+                            f"object #{obj.oid} at {obj.address:#x}",
+                            f"address maps to region {region.index}",
+                            "region "
+                            + (
+                                str(resolved.index)
+                                if resolved is not None
+                                else "<none>"
+                            ),
+                        )
+                    )
+                if obj.address < region.start or obj.end_address() > region.top:
+                    out.append(
+                        Violation(
+                            "h2-bounds",
+                            f"object #{obj.oid} in region {region.index}",
+                            f"extent within [{region.start:#x}, "
+                            f"{region.top:#x})",
+                            f"[{obj.address:#x}, {obj.end_address():#x})",
+                        )
+                    )
+                if obj.address < prev_end:
+                    out.append(
+                        Violation(
+                            "h2-overlap",
+                            f"objects #{prev_obj.oid} and #{obj.oid} in "
+                            f"region {region.index}",
+                            f"#{obj.oid} starts at or after {prev_end:#x}",
+                            f"starts at {obj.address:#x}",
+                        )
+                    )
+                prev_end = obj.end_address()
+                prev_obj = obj
+                total += obj.size
+            if total != region.used:
+                out.append(
+                    Violation(
+                        "h2-accounting",
+                        f"region {region.index} top pointer vs objects",
+                        f"used == sum(sizes) == {total}",
+                        f"used == {region.used}",
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Full checks: card tables, dependency closure, live bits
+    # ------------------------------------------------------------------
+    def _check_card_coverage(self, out: List[Violation]) -> None:
+        """Every old object with a young reference has a dirty card.
+
+        A clean card over such an object would let the next scavenge miss
+        an old-to-young root and free a live object.
+        """
+        table = self.heap.card_table
+        for obj in self.heap.old.objects:
+            if not any(ref.in_young for ref in obj.refs):
+                continue
+            first = table.card_index(obj.address)
+            last = table.card_index(obj.end_address() - 1)
+            if not any(table.is_dirty(i) for i in range(first, last + 1)):
+                young = [r.oid for r in obj.refs if r.in_young]
+                out.append(
+                    Violation(
+                        "card-coverage",
+                        f"old object #{obj.oid} references young "
+                        f"object(s) {young}",
+                        f"a dirty card in cards [{first}, {last}]",
+                        "all covering cards clean",
+                    )
+                )
+
+    def _check_h2_references(self, out: List[Violation]) -> None:
+        """H2 references neither dangle nor escape the dependency lists.
+
+        A reference to a FREED object means region reclamation freed a
+        region that was still reachable; an unrecorded cross-region
+        reference means the next reclamation could.
+        """
+        h2 = self.h2
+        groups = h2.region_groups
+        for region in h2.regions.values():
+            for obj in region.objects:
+                for ref in obj.refs:
+                    if ref.space is SpaceId.FREED:
+                        out.append(
+                            Violation(
+                                "h2-dangling-ref",
+                                f"H2 object #{obj.oid} (region "
+                                f"{region.index}) references #{ref.oid}",
+                                "a live H1 or H2 object",
+                                "a reclaimed (FREED) object",
+                            )
+                        )
+                        continue
+                    if (
+                        ref.space is SpaceId.H2
+                        and ref.region_id != region.index
+                    ):
+                        if groups is not None:
+                            linked = groups.find(region.index) == groups.find(
+                                ref.region_id
+                            )
+                        else:
+                            linked = ref.region_id in region.deps
+                        if not linked:
+                            out.append(
+                                Violation(
+                                    "h2-dependency-closure",
+                                    f"cross-region reference #{obj.oid} "
+                                    f"(region {region.index}) -> "
+                                    f"#{ref.oid} (region {ref.region_id})",
+                                    f"dependency edge {region.index} -> "
+                                    f"{ref.region_id}",
+                                    "no recorded edge",
+                                )
+                            )
+
+    def _check_live_bits(self, out: List[Violation], epoch: int) -> None:
+        """After a major GC only live regions may hold objects.
+
+        Regions first allocated during this very cycle (movers placed in
+        pre-compaction, after the liveness pass reclaimed dead regions)
+        are exempt: their live bits are set at the next marking.
+        """
+        for region in self.h2.regions.values():
+            if region.is_empty or region.allocated_epoch >= epoch:
+                continue
+            if not region.live:
+                out.append(
+                    Violation(
+                        "h2-live-bit",
+                        f"region {region.index} "
+                        f"({len(region.objects)} objects, {region.used} B)",
+                        "live bit set (survived this major GC)",
+                        "live bit clear",
+                    )
+                )
+
+
+def make_auditor(vm, level) -> Optional[HeapAuditor]:
+    """Build an auditor for ``vm`` if its heap shape supports auditing."""
+    heap = getattr(vm, "heap", None)
+    if not isinstance(heap, ManagedHeap):
+        return None
+    return HeapAuditor(heap, h2=vm.h2, level=AuditLevel.parse(level))

@@ -89,6 +89,11 @@ class ManagedHeap:
         if target.allocate(obj):
             self.allocated_objects += 1
             self.allocated_bytes += obj.size
+            if target is self.old and any(r.in_young for r in obj.refs):
+                # Initializing stores of a pretenured object run the
+                # write barrier too: without this mark the next scavenge
+                # would miss the old-to-young root.
+                self.card_table.mark(obj.address)
             return True
         return False
 

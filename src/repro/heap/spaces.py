@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..errors import ConfigError
 from .object_model import HeapObject, SpaceId

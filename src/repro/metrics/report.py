@@ -82,6 +82,25 @@ def collect_result(
             "forward_refs_fenced",
             getattr(vm.collector, "forward_refs_fenced", 0),
         )
+    res = getattr(vm, "resilience", None)
+    auditor = getattr(vm, "auditor", None)
+    if res is not None:
+        result.extras.setdefault("faults_injected", res.plan.total_injected)
+        result.extras.setdefault("faults_seen", res.log.faults_seen)
+        result.extras.setdefault("ops_retried", res.log.ops_retried)
+        result.extras.setdefault(
+            "retry_exhaustions", res.log.retry_exhaustions
+        )
+        result.extras.setdefault("h2_degraded", int(res.degraded))
+        result.extras.setdefault(
+            "h2_transfers_denied",
+            getattr(vm.collector, "h2_transfers_denied", 0),
+        )
+    if auditor is not None:
+        result.extras.setdefault("audits_run", auditor.audits_run)
+        result.extras.setdefault(
+            "invariant_violations", auditor.violations_found
+        )
     return result
 
 

@@ -84,16 +84,64 @@ def region_liveness_csv(liveness: List[RegionLiveness]) -> str:
             "unused_fraction",
         ]
     )
-    for l in liveness:
+    for lv in liveness:
         writer.writerow(
             [
-                l.total_objects,
-                l.live_objects,
-                f"{l.live_object_fraction:.4f}",
-                l.used_bytes,
-                l.live_bytes,
-                f"{l.live_space_fraction:.4f}",
-                f"{l.unused_fraction:.4f}",
+                lv.total_objects,
+                lv.live_objects,
+                f"{lv.live_object_fraction:.4f}",
+                lv.used_bytes,
+                lv.live_bytes,
+                f"{lv.live_space_fraction:.4f}",
+                f"{lv.unused_fraction:.4f}",
+            ]
+        )
+    return out.getvalue()
+
+
+def fault_schedule_csv(plan) -> str:
+    """CSV of a :class:`~repro.faults.plan.FaultPlan`'s injected faults.
+
+    Byte-identical across runs with the same seed and workload — the
+    artifact of the determinism guarantee.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["op_index", "kind", "device", "detail"])
+    for record in plan.schedule:
+        writer.writerow(
+            [record.op_index, record.kind.value, record.device, record.detail]
+        )
+    return out.getvalue()
+
+
+def resilience_events_csv(log) -> str:
+    """CSV of a :class:`~repro.faults.events.ResilienceLog`'s timeline."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["time_s", "event", "op_or_device", "kind", "detail"])
+    for event in log.faults:
+        writer.writerow(
+            [f"{event.time:.6f}", "fault", event.device, event.kind, event.detail]
+        )
+    for event in log.retries:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "retry",
+                event.op,
+                "success" if event.success else "exhausted",
+                f"attempts={event.attempts} backoff={event.delay:.6f}",
+            ]
+        )
+    for event in log.degradations:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "degradation",
+                "h2",
+                f"failures={event.failures}",
+                event.reason,
             ]
         )
     return out.getvalue()

@@ -9,6 +9,7 @@ cost — allocation, barriers, GC, S/D, device I/O — is accounted.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Optional
 
 from .clock import Bucket, Clock
@@ -16,6 +17,14 @@ from .config import VMConfig
 from .devices.base import AccessPattern, Device
 from .devices.nvme import NVMeSSD
 from .errors import OutOfMemoryError, SegmentationFault
+from .faults import (
+    get_default_audit_level,
+    get_default_fault_config,
+    register_auditor,
+    register_policy,
+)
+from .faults.policy import ResiliencePolicy
+from .heap.audit import HeapAuditor, make_auditor
 from .gc.parallel_scavenge import (
     ParallelScavenge,
     ParallelScavengeJDK11,
@@ -50,6 +59,8 @@ class JavaVM:
         self.hints = HintInterface()
         self.h2: Optional[H2Heap] = None
         self.old_gen_device = old_gen_device
+        self.resilience: Optional[ResiliencePolicy] = None
+        self.auditor: Optional[HeapAuditor] = None
 
         if config.collector == "g1":
             from .gc.g1 import G1Collector, G1Heap, G1WriteBarrier
@@ -66,13 +77,25 @@ class JavaVM:
             if config.teraheap.enabled:
                 if h2_device is None:
                     h2_device = NVMeSSD(self.clock)
-                else:
-                    h2_device.clock = self.clock
+                elif h2_device.clock is not self.clock:
+                    # Rebind a caller-supplied device to this VM's clock
+                    # on a copy: mutating the original would silently
+                    # redirect the charges (and traffic counters) of any
+                    # other VM still using it.
+                    h2_device = h2_device.rebind(self.clock)
+                fault_cfg = config.faults or get_default_fault_config()
+                if fault_cfg is not None:
+                    self.resilience = ResiliencePolicy(fault_cfg, self.clock)
+                    if config.faults is None:
+                        # Armed via the process-global default (the CLI's
+                        # --faults flag): register for aggregate reporting.
+                        register_policy(self.resilience)
                 self.h2 = H2Heap(
                     config.teraheap,
                     h2_device,
                     self.clock,
                     config.page_cache_size,
+                    resilience=self.resilience,
                 )
                 from .teraheap.collector import TeraHeapCollector
 
@@ -87,8 +110,12 @@ class JavaVM:
             elif config.collector == "panthera":
                 from .gc.panthera import PantheraCollector
 
-                if old_gen_device is not None:
-                    old_gen_device.clock = self.clock
+                if (
+                    old_gen_device is not None
+                    and old_gen_device.clock is not self.clock
+                ):
+                    old_gen_device = old_gen_device.rebind(self.clock)
+                    self.old_gen_device = old_gen_device
                 self.collector = PantheraCollector(
                     self.heap,
                     self.roots,
@@ -106,8 +133,8 @@ class JavaVM:
 
                 if old_gen_device is None:
                     old_gen_device = NVMMemoryMode(self.clock)
-                else:
-                    old_gen_device.clock = self.clock
+                elif old_gen_device.clock is not self.clock:
+                    old_gen_device = old_gen_device.rebind(self.clock)
                 self.old_gen_device = old_gen_device
                 self.collector = MemoryModeCollector(
                     self.heap,
@@ -136,6 +163,16 @@ class JavaVM:
             self.clock, self.cost, allocate_temp=self.allocate_temp
         )
         self.oom = False
+
+        audit_level = (
+            config.audit
+            or os.environ.get("REPRO_AUDIT")
+            or get_default_audit_level()
+        )
+        if audit_level:
+            self.auditor = make_auditor(self, audit_level)
+            if self.auditor is not None and config.audit is None:
+                register_auditor(self.auditor)
 
     # ==================================================================
     # Allocation
@@ -169,11 +206,22 @@ class JavaVM:
         if self.heap.try_allocate(obj):
             return obj
         self.oom = True
+        message = f"cannot allocate {size} B after full GC"
+        context = self._degradation_context()
+        if context:
+            message = f"{message} ({context})"
         raise OutOfMemoryError(
-            f"cannot allocate {size} B after full GC",
+            message,
             requested=size,
             available=self.heap.capacity - self.heap.used(),
+            context=context,
         )
+
+    def _degradation_context(self) -> str:
+        """Resilience fallback description attached to OOM errors."""
+        if self.resilience is None:
+            return ""
+        return self.resilience.degradation_context()
 
     def allocate_array(
         self,
@@ -206,8 +254,12 @@ class JavaVM:
                     self.major_gc()
                     if not self.heap.try_allocate(obj):
                         self.oom = True
+                        message = "temporary allocation failed"
+                        context = self._degradation_context()
+                        if context:
+                            message = f"{message} ({context})"
                         raise OutOfMemoryError(
-                            "temporary allocation failed", requested=chunk
+                            message, requested=chunk, context=context
                         )
             remaining -= chunk
 
@@ -295,13 +347,22 @@ class JavaVM:
     # GC entry points
     # ==================================================================
     def minor_gc(self) -> None:
+        kind = "minor"
         try:
             self.collector.minor_gc()
         except PromotionFailure:
             self.collector.major_gc()
+            kind = "major"
+        self._post_gc_audit(kind)
 
     def major_gc(self) -> None:
         self.collector.major_gc()
+        self._post_gc_audit("major")
+
+    def _post_gc_audit(self, kind: str) -> None:
+        """Verify heap invariants after a completed GC cycle (if enabled)."""
+        if self.auditor is not None:
+            self.auditor.audit(kind, self.collector.mark_epoch)
 
     # ==================================================================
     # Reporting

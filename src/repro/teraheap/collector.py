@@ -23,7 +23,7 @@ from typing import Dict, List, Set, Tuple
 
 from ..clock import Clock
 from ..config import VMConfig
-from ..errors import SegmentationFault
+from ..errors import DeviceFullError, SegmentationFault
 from ..gc.parallel_scavenge import ParallelScavenge
 from ..heap.heap import ManagedHeap
 from ..heap.object_model import HeapObject, SpaceId
@@ -67,6 +67,8 @@ class TeraHeapCollector(ParallelScavenge):
         self.forward_refs_fenced = 0
         #: backward-reference card segments scanned during minor GC
         self.h2_cards_scanned_minor = 0
+        #: movers denied an H2 address (device full / degraded H2)
+        self.h2_transfers_denied = 0
         self._minor_scanned: List[Tuple[int, List[HeapObject]]] = []
         self._major_scanned: List[Tuple[int, List[HeapObject]]] = []
         self._moved_labels: Set[str] = set()
@@ -108,7 +110,7 @@ class TeraHeapCollector(ParallelScavenge):
                 continue
             on_card = region.objects_overlapping(lo, hi)
             # Reading device-resident objects to inspect their references.
-            self.h2.mapping.load(lo, hi - lo)
+            self.h2.scan_load(lo, hi - lo)
             for obj in on_card:
                 work += cost.gc_visit_cost
                 for ref in obj.refs:
@@ -172,7 +174,7 @@ class TeraHeapCollector(ParallelScavenge):
                 )
                 if needs_adjust:
                     # Rewriting pointers inside device-resident objects.
-                    self.h2.mapping.store(lo, hi - lo)
+                    self.h2.scan_store(lo, hi - lo)
                 table.set_state(card, self._classify_card(objects))
         self._minor_scanned = []
 
@@ -198,6 +200,15 @@ class TeraHeapCollector(ParallelScavenge):
     def select_h2_movers(
         self, live: List[HeapObject], live_bytes: int, epoch: int
     ) -> List[Tuple[HeapObject, str]]:
+        if (
+            self.h2.resilience is not None
+            and self.h2.resilience.degraded
+        ):
+            # Graceful degradation: H2 transfers are disabled, objects
+            # stay in H1 (the serialization-fallback baseline).  Tagged
+            # candidates keep their labels in case H2 recovers in a
+            # future configuration.
+            return []
         cost = self.cost
         # --- transitive closure of tagged root key-objects --------------
         groups: Dict[str, List[HeapObject]] = {}
@@ -286,10 +297,35 @@ class TeraHeapCollector(ParallelScavenge):
 
     def assign_h2_addresses(
         self, movers: List[Tuple[HeapObject, str]], epoch: int
-    ) -> None:
+    ) -> List[Tuple[HeapObject, str]]:
+        """Place movers in H2; returns the subset that actually got an
+        address.
+
+        A mover denied by a device-full condition keeps its candidate
+        tag and falls back to H1 compaction this cycle; the denial is
+        charged against the resilience failure budget (device-full is
+        not retryable), so repeated denials degrade H2 gracefully
+        instead of aborting the collection.
+        """
+        placed: List[Tuple[HeapObject, str]] = []
+        res = self.h2.resilience
+        denied = 0
         for obj, label in movers:
-            self.h2.assign_address(obj, label, epoch)
+            if res is not None and res.degraded:
+                denied += 1
+                continue
+            try:
+                self.h2.assign_address(obj, label, epoch)
+            except DeviceFullError as exc:
+                denied += 1
+                if res is not None:
+                    res.note_failure("h2_assign_address", exc)
+                    continue
+                raise
             obj.h2_candidate = False
+            placed.append((obj, label))
+        self.h2_transfers_denied += denied
+        return placed
 
     def adjust_mover_references(
         self, movers: List[Tuple[HeapObject, str]], stayers: Set[int]
@@ -325,7 +361,7 @@ class TeraHeapCollector(ParallelScavenge):
                 for ref in obj.refs
             )
             if has_backward:
-                self.h2.mapping.store(lo, hi - lo)
+                self.h2.scan_store(lo, hi - lo)
             # A backward-referenced H1 object may itself have moved to H2
             # this cycle: the reference is now cross-region and must enter
             # the dependency lists before its tracking card goes clean.

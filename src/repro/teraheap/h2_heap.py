@@ -17,7 +17,7 @@ from ..config import TeraHeapConfig
 from ..devices.base import AccessPattern, Device
 from ..devices.mmap import MappedFile
 from ..devices.page_cache import PageCache
-from ..errors import OutOfMemoryError
+from ..errors import DeviceFullError, OutOfMemoryError
 from ..heap.object_model import HeapObject
 from .h2_card_table import H2CardTable
 from .promotion import PromotionManager
@@ -37,8 +37,14 @@ class H2Heap:
         device: Device,
         clock: Clock,
         page_cache_size: int,
+        resilience=None,
     ):
         self.config = config
+        #: optional ResiliencePolicy; when set, the device is fronted by a
+        #: fault injector and every H2 I/O path runs under the retry loop
+        self.resilience = resilience
+        if resilience is not None:
+            device = resilience.wrap_device(device)
         self.device = device
         self.clock = clock
         self.page_cache = PageCache(device, page_cache_size)
@@ -48,6 +54,7 @@ class H2Heap:
             config.h2_size,
             self.page_cache,
             huge_pages=config.huge_pages,
+            fault_plan=resilience.plan if resilience is not None else None,
         )
         self.card_table = H2CardTable(
             H2_BASE,
@@ -94,7 +101,25 @@ class H2Heap:
     def active_regions(self) -> List[Region]:
         return [r for r in self.regions.values() if not r.is_empty]
 
+    def _io(self, op: str, fn):
+        """Run one H2 I/O operation under the resilience policy (if any)."""
+        if self.resilience is None:
+            return fn()
+        return self.resilience.run(op, fn)
+
     def _new_region(self, label: str, epoch: int) -> Region:
+        if (
+            self.resilience is not None
+            and self.resilience.plan.allocation_fault(
+                self.device.name, self.config.region_size
+            )
+        ):
+            raise DeviceFullError(
+                f"injected device-full allocating an H2 region on "
+                f"{self.device.name}",
+                device=self.device.name,
+                requested=self.config.region_size,
+            )
         if self._free_indices:
             index = self._free_indices.pop()
             region = self.regions[index]
@@ -157,10 +182,13 @@ class H2Heap:
 
     def write_object(self, obj: HeapObject) -> None:
         """Emit the object's bytes through the promotion buffers."""
-        self.promotion.write_object(obj, obj.region_id)
+        self._io(
+            "h2_write_object",
+            lambda: self.promotion.write_object(obj, obj.region_id),
+        )
 
     def finish_compaction(self) -> None:
-        self.promotion.flush_all()
+        self._io("h2_flush", self.promotion.flush_all)
 
     # ------------------------------------------------------------------
     # Cross-region references (Section 3.3)
@@ -282,8 +310,25 @@ class H2Heap:
         self, obj: HeapObject, pattern: AccessPattern = AccessPattern.SEQUENTIAL
     ) -> None:
         """A mutator reads an H2 object: fault pages in through the cache."""
-        self.mapping.load(obj.address, obj.size, pattern)
+        self._io(
+            "h2_mutator_load",
+            lambda: self.mapping.load(obj.address, obj.size, pattern),
+        )
 
     def mutator_store(self, obj: HeapObject, nbytes: int = 8) -> None:
         """A mutator updates a field of an H2 object (read-modify-write)."""
-        self.mapping.store(obj.address, nbytes)
+        self._io(
+            "h2_mutator_store",
+            lambda: self.mapping.store(obj.address, nbytes),
+        )
+
+    # ------------------------------------------------------------------
+    # GC access (card-segment scans and backward-reference rewrites)
+    # ------------------------------------------------------------------
+    def scan_load(self, lo: int, nbytes: int) -> None:
+        """GC reads a card segment's objects, under the retry policy."""
+        self._io("h2_card_scan", lambda: self.mapping.load(lo, nbytes))
+
+    def scan_store(self, lo: int, nbytes: int) -> None:
+        """GC rewrites references in a card segment, under retry."""
+        self._io("h2_card_adjust", lambda: self.mapping.store(lo, nbytes))

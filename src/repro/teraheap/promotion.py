@@ -70,23 +70,33 @@ class PromotionManager:
             self._flush(buffer)
         buffer.append(obj)
 
-    def _span(self, buffer: PromotionBuffer):
+    @staticmethod
+    def _span(buffer: PromotionBuffer):
+        """The (address, nbytes) span the buffer's staged objects cover.
+
+        Pure: the buffer is only emptied by :meth:`_commit` *after* the
+        device write succeeds, so a failed (fault-injected) write leaves
+        the staged objects in place and a retry re-issues the same span.
+        """
         if not buffer.buffered:
             return None
         lo = min(o.address for o in buffer.buffered)
         hi = max(o.end_address() for o in buffer.buffered)
+        return (lo, hi - lo)
+
+    def _commit(self, buffer: PromotionBuffer) -> None:
         self.objects_written += len(buffer.buffered)
         self.bytes_written += buffer.buffered_bytes
         buffer.flushes += 1
         buffer.buffered = []
         buffer.buffered_bytes = 0
-        return (lo, hi - lo)
 
     def _flush(self, buffer: PromotionBuffer) -> None:
         span = self._span(buffer)
         if span is not None:
             # One batched sequential write covering the staged objects.
             self.mapping.write_explicit(*span)
+            self._commit(buffer)
 
     def flush_all(self) -> None:
         """Drain every buffer as one coalesced batch (end of compaction).
@@ -95,10 +105,14 @@ class PromotionManager:
         page, and a single large flush writes each page once.
         """
         spans = []
+        pending = []
         for buffer in self._buffers.values():
             span = self._span(buffer)
             if span is not None:
                 spans.append(span)
+                pending.append(buffer)
         if spans:
             self.mapping.write_explicit_many(spans)
+        for buffer in pending:
+            self._commit(buffer)
         self._buffers.clear()

@@ -14,7 +14,7 @@ from typing import List, Optional, Set
 
 from ..errors import ConfigError
 from ..heap.object_model import HeapObject, SpaceId
-from ..units import MiB, TiB
+from ..units import TiB
 
 # Figure 2 metadata, sized per region (measured on the authors' struct
 # layout so that Table 5 reproduces exactly):

@@ -10,6 +10,18 @@ from repro.devices.nvme import NVMeSSD
 from repro.units import KiB
 
 
+@pytest.fixture(autouse=True)
+def _audit_integration_tests(request, monkeypatch):
+    """Run the cheap post-GC auditor inside the integration tests.
+
+    Every VM those tests build verifies space/region accounting and
+    address-map bijectivity after each GC cycle, so a regression that
+    corrupts heap metadata fails loudly instead of skewing results.
+    """
+    if request.node.path.name == "test_integration.py":
+        monkeypatch.setenv("REPRO_AUDIT", "cheap")
+
+
 @pytest.fixture
 def clock():
     return Clock()

@@ -1,7 +1,5 @@
 """Post-write barriers: card marking, range check, overhead claim."""
 
-import pytest
-
 from repro import JavaVM, TeraHeapConfig, VMConfig, gb
 from repro.experiments import barrier as barrier_exp
 from repro.heap.object_model import SpaceId

@@ -10,7 +10,7 @@ from repro.config import (
     VMConfig,
 )
 from repro.errors import ConfigError
-from repro.units import GB, KiB, MB, gb
+from repro.units import GB, MB, gb
 
 
 def test_default_layout_partitions_heap():

@@ -1,7 +1,5 @@
 """Experiment drivers: quick smoke of every figure/table harness."""
 
-import math
-
 import pytest
 
 from repro.experiments import (

@@ -7,7 +7,7 @@ import pytest
 from repro import JavaVM, TeraHeapConfig, VMConfig, gb
 from repro.devices.nvme import NVMeSSD
 from repro.frameworks.spark import CachePolicy, SparkConf, SparkContext
-from repro.frameworks.spark.sql_api import DataFrame, Dataset, Schema, read_table
+from repro.frameworks.spark.sql_api import Dataset, Schema, read_table
 from repro.heap.object_model import SpaceId
 from repro.metrics import trace
 from repro.teraheap.thresholds import AdaptiveThresholdPolicy

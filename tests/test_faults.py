@@ -1,0 +1,436 @@
+"""Fault injection, H2 I/O resilience, and post-GC invariant auditing."""
+
+import pytest
+
+from helpers import make_group
+from repro import (
+    DeviceFullError,
+    DeviceIOError,
+    InvariantViolation,
+    JavaVM,
+    OutOfMemoryError,
+    SegmentationFault,
+    TeraHeapConfig,
+    VMConfig,
+    gb,
+)
+from repro.clock import Clock
+from repro.devices.mmap import MappedFile
+from repro.devices.nvm import NVM
+from repro.devices.nvme import NVMeSSD
+from repro.devices.page_cache import PageCache
+from repro.errors import ConfigError
+from repro.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    ResilienceLog,
+    ResiliencePolicy,
+    RetryPolicy,
+)
+from repro.heap.object_model import HeapObject, SpaceId
+from repro.teraheap.h2_heap import H2_BASE, H2Heap
+from repro.units import KiB, MiB
+
+DEVICES = [
+    pytest.param(NVMeSSD, id="nvme"),
+    pytest.param(NVM, id="nvm"),
+]
+
+
+def th_config(faults=None, audit=None, heap=8, cache=gb(4)):
+    return VMConfig(
+        heap_size=gb(heap),
+        teraheap=TeraHeapConfig(
+            enabled=True, h2_size=gb(64), region_size=16 * KiB
+        ),
+        page_cache_size=cache,
+        faults=faults,
+        audit=audit,
+    )
+
+
+def run_workload(vm, groups=4, count=12, size=2 * KiB):
+    """Tag/move several object groups to H2 and touch them afterwards."""
+    for g in range(groups):
+        label = f"grp-{g}"
+        root, children = make_group(vm, count=count, size=size, name=label)
+        vm.h2_tag_root(root, label)
+        vm.h2_move(label)
+        vm.major_gc()
+        for child in children[:4]:
+            vm.read_object(child)
+        vm.minor_gc()
+    return vm
+
+
+# ======================================================================
+# Injector faults, per fault kind x device type
+# ======================================================================
+@pytest.mark.parametrize("device_cls", DEVICES)
+def test_injected_read_error(device_cls):
+    clock = Clock()
+    device = device_cls(clock)
+    plan = FaultPlan(FaultConfig(read_error_rate=1.0))
+    injector = FaultInjector(device, plan)
+    with pytest.raises(DeviceIOError) as excinfo:
+        injector.read(4096)
+    assert excinfo.value.transient
+    assert excinfo.value.device == device.name
+    assert excinfo.value.op == "read"
+    # The failed request still travelled to the device and back.
+    assert clock.now > 0
+    assert plan.injected[FaultKind.READ_ERROR] == 1
+
+
+@pytest.mark.parametrize("device_cls", DEVICES)
+def test_injected_write_error(device_cls):
+    clock = Clock()
+    device = device_cls(clock)
+    plan = FaultPlan(FaultConfig(write_error_rate=1.0))
+    injector = FaultInjector(device, plan)
+    with pytest.raises(DeviceIOError) as excinfo:
+        injector.write(4096)
+    assert excinfo.value.transient and excinfo.value.op == "write"
+    assert device.traffic.bytes_written == 0  # nothing actually landed
+    assert plan.injected[FaultKind.WRITE_ERROR] == 1
+
+
+@pytest.mark.parametrize("device_cls", DEVICES)
+def test_injected_latency_spike(device_cls):
+    plan = FaultPlan(
+        FaultConfig(latency_spike_rate=1.0, latency_spike_multiplier=4.0)
+    )
+    clock = Clock()
+    injector = FaultInjector(device_cls(clock), plan)
+    spiked = injector.read(4096)
+    baseline = device_cls(Clock()).read(4096)
+    assert spiked == pytest.approx(4.0 * baseline)
+    assert clock.now == pytest.approx(spiked)
+    assert plan.injected[FaultKind.LATENCY_SPIKE] == 1
+
+
+@pytest.mark.parametrize("device_cls", DEVICES)
+def test_injected_device_full_on_region_allocation(device_cls):
+    clock = Clock()
+    policy = ResiliencePolicy(FaultConfig(device_full_rate=1.0), clock)
+    h2 = H2Heap(
+        TeraHeapConfig(enabled=True, h2_size=gb(64), region_size=16 * KiB),
+        device_cls(clock),
+        clock,
+        page_cache_size=gb(4),
+        resilience=policy,
+    )
+    with pytest.raises(DeviceFullError) as excinfo:
+        h2.assign_address(HeapObject(1024), "label", epoch=1)
+    assert not excinfo.value.transient
+    assert excinfo.value.requested == 16 * KiB
+    assert policy.plan.injected[FaultKind.DEVICE_FULL] == 1
+
+
+@pytest.mark.parametrize("device_cls", DEVICES)
+def test_injected_sigbus_on_page_fault(device_cls):
+    clock = Clock()
+    device = device_cls(clock)
+    plan = FaultPlan(FaultConfig(sigbus_rate=1.0))
+    mapping = MappedFile(
+        device,
+        H2_BASE,
+        1 * MiB,
+        PageCache(device, 1 * MiB),
+        fault_plan=plan,
+    )
+    with pytest.raises(SegmentationFault) as excinfo:
+        mapping.load(H2_BASE, 4096)
+    assert excinfo.value.sigbus
+    assert excinfo.value.address == H2_BASE
+    assert mapping.sigbus_count == 1
+    # The faulted page stayed cached, so the retry hits and succeeds.
+    mapping.load(H2_BASE, 4096)
+
+
+def test_injector_delegates_to_wrapped_device():
+    clock = Clock()
+    device = NVMeSSD(clock)
+    injector = FaultInjector(device, FaultPlan(FaultConfig()))
+    assert injector.name == device.name
+    assert injector.capacity == device.capacity
+    assert injector.traffic is device.traffic
+    other = Clock()
+    injector.clock = other
+    assert device.clock is other
+
+
+def test_suspended_queries_consume_no_draws():
+    plan = FaultPlan(FaultConfig(read_error_rate=1.0))
+    with plan.suspend():
+        assert plan.io_outcome(write=False, device="d") is None
+        assert not plan.allocation_fault("d")
+        assert not plan.page_fault_outcome("d", 0)
+    assert plan.op_index == 0
+    # Injection resumes, and the schedule is unperturbed.
+    assert plan.io_outcome(write=False, device="d") is not None
+    assert plan.op_index == 1
+
+
+# ======================================================================
+# Retry policy and graceful degradation
+# ======================================================================
+def test_retry_recovers_and_charges_backoff():
+    clock = Clock()
+    cfg = FaultConfig(max_attempts=4, backoff_base=1e-3, backoff_factor=2.0)
+    retry = RetryPolicy(cfg, clock, ResilienceLog())
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise DeviceIOError("transient", transient=True)
+        return "ok"
+
+    assert retry.call("op", flaky) == "ok"
+    assert calls["n"] == 3
+    assert clock.now == pytest.approx(1e-3 + 2e-3)
+    assert retry.log.ops_retried == 1
+
+
+def test_retry_does_not_touch_persistent_faults():
+    retry = RetryPolicy(FaultConfig(), Clock(), ResilienceLog())
+    calls = {"n": 0}
+
+    def broken():
+        calls["n"] += 1
+        raise DeviceIOError("persistent", transient=False)
+
+    with pytest.raises(DeviceIOError):
+        retry.call("op", broken)
+    assert calls["n"] == 1
+    assert not retry.log.retries
+
+
+def test_exhaustion_degrades_then_falls_back():
+    clock = Clock()
+    policy = ResiliencePolicy(
+        FaultConfig(write_error_rate=1.0, max_attempts=2, failure_budget=1),
+        clock,
+    )
+    injector = policy.wrap_device(NVMeSSD(clock))
+    # Every attempt faults; the policy must exhaust retries, degrade, and
+    # still complete the operation with injection suspended.
+    cost = policy.run("h2_flush", lambda: injector.write(4096))
+    assert cost > 0
+    assert policy.degraded
+    assert policy.log.retry_exhaustions == 1
+    assert policy.log.degraded_count == 1
+    assert policy.degradation_context()
+
+
+# ======================================================================
+# VM-level resilience
+# ======================================================================
+def test_faulty_run_completes_without_aborting():
+    cfg = FaultConfig(
+        seed=11,
+        read_error_rate=0.3,
+        write_error_rate=0.3,
+        latency_spike_rate=0.2,
+        sigbus_rate=0.1,
+    )
+    # A tiny page cache forces mutator loads through the device, so the
+    # injector sees the full read path, not just promotion flushes.
+    vm = run_workload(
+        JavaVM(th_config(faults=cfg, cache=64 * KiB)), groups=8
+    )
+    assert vm.resilience.plan.total_injected > 0
+    assert vm.resilience.log.ops_retried > 0
+    assert vm.h2.objects_moved > 0  # the workload still made progress
+
+
+def test_retry_exhaustion_disables_h2_transfers():
+    cfg = FaultConfig(
+        seed=5, write_error_rate=1.0, max_attempts=2, failure_budget=1
+    )
+    vm = JavaVM(th_config(faults=cfg))
+    root, children = make_group(vm, count=8, size=2 * KiB, name="a")
+    vm.h2_tag_root(root, "a")
+    vm.h2_move("a")
+    vm.major_gc()  # flush faults every attempt -> degrade, fall back
+    assert vm.resilience.degraded
+    assert vm.resilience.log.degraded_count == 1
+    assert root.space is SpaceId.H2  # placed before the flush failed
+    moved_before = vm.h2.objects_moved
+    # Degraded: the next group must stay in H1 (serialization fallback).
+    root2, _ = make_group(vm, count=8, size=2 * KiB, name="b")
+    vm.h2_tag_root(root2, "b")
+    vm.h2_move("b")
+    vm.major_gc()
+    assert root2.in_h1
+    assert vm.h2.objects_moved == moved_before
+
+
+def test_device_full_denials_fall_back_to_h1_compaction():
+    cfg = FaultConfig(seed=3, device_full_rate=1.0, failure_budget=2)
+    vm = JavaVM(th_config(faults=cfg))
+    root, children = make_group(vm, count=8, size=2 * KiB, name="a")
+    vm.h2_tag_root(root, "a")
+    vm.h2_move("a")
+    vm.major_gc()  # every region allocation denied
+    assert vm.collector.h2_transfers_denied > 0
+    assert vm.h2.objects_moved == 0
+    assert root.in_h1 and all(c.in_h1 for c in children)
+    assert root.space is not SpaceId.FREED
+    assert vm.resilience.degraded  # denials exceeded the budget
+
+
+def test_oom_reports_degradation_context():
+    cfg = FaultConfig(write_error_rate=1.0, failure_budget=1)
+    vm = JavaVM(th_config(faults=cfg, heap=2))
+    vm.resilience.note_failure("h2_flush", DeviceIOError("injected"))
+    assert vm.resilience.degraded
+    with pytest.raises(OutOfMemoryError) as excinfo:
+        while True:
+            vm.roots.add(vm.allocate(128 * KiB))
+    assert "degraded" in excinfo.value.context
+    assert "degraded" in str(excinfo.value)
+
+
+# ======================================================================
+# Determinism
+# ======================================================================
+def _seeded_run(seed):
+    cfg = FaultConfig(
+        seed=seed,
+        read_error_rate=0.25,
+        write_error_rate=0.25,
+        latency_spike_rate=0.2,
+        sigbus_rate=0.1,
+    )
+    return run_workload(JavaVM(th_config(faults=cfg)))
+
+
+def test_same_seed_same_schedule_and_clock():
+    vm1 = _seeded_run(23)
+    vm2 = _seeded_run(23)
+    digest = vm1.resilience.plan.schedule_digest()
+    assert digest == vm2.resilience.plan.schedule_digest()
+    assert vm1.resilience.plan.total_injected > 0
+    assert vm1.elapsed() == vm2.elapsed()
+
+
+def test_different_seed_different_schedule():
+    assert (
+        _seeded_run(23).resilience.plan.schedule_digest()
+        != _seeded_run(24).resilience.plan.schedule_digest()
+    )
+
+
+# ======================================================================
+# Post-GC auditing
+# ======================================================================
+def test_full_audit_passes_on_healthy_workload():
+    vm = run_workload(JavaVM(th_config(audit="full")))
+    assert vm.auditor is not None
+    assert vm.auditor.audits_run > 0
+    assert vm.auditor.violations_found == 0
+
+
+def test_full_audit_passes_under_fault_injection():
+    cfg = FaultConfig(
+        seed=7,
+        read_error_rate=0.2,
+        write_error_rate=0.2,
+        sigbus_rate=0.05,
+    )
+    vm = run_workload(JavaVM(th_config(faults=cfg, audit="full")))
+    assert vm.auditor.audits_run > 0
+    assert vm.auditor.violations_found == 0
+
+
+def test_audit_detects_address_corruption():
+    vm = JavaVM(th_config(audit="cheap"))
+    vm.roots.add(vm.allocate(1024))
+    vm.major_gc()  # healthy: audit passed
+    vm.heap.old.objects[0].address += 8
+    with pytest.raises(InvariantViolation) as excinfo:
+        vm.auditor.audit("major", vm.collector.mark_epoch)
+    assert any(v.check == "address-bounds" for v in excinfo.value.violations)
+    assert vm.auditor.violations_found > 0
+
+
+def test_audit_detects_h2_dangling_reference():
+    vm = JavaVM(th_config(audit="full"))
+    root, _ = make_group(vm, count=4, size=2 * KiB, name="a")
+    vm.h2_tag_root(root, "a")
+    vm.h2_move("a")
+    vm.major_gc()
+    assert root.space is SpaceId.H2
+    victim = HeapObject(1024)
+    victim.space = SpaceId.FREED
+    root.refs.append(victim)
+    with pytest.raises(InvariantViolation) as excinfo:
+        vm.auditor.audit("major", vm.collector.mark_epoch)
+    assert any(
+        v.check == "h2-dangling-ref" for v in excinfo.value.violations
+    )
+
+
+def test_audit_detects_missing_dependency_edge():
+    vm = JavaVM(th_config(audit="full"))
+    roots = []
+    for label in ("a", "b"):
+        root, _ = make_group(vm, count=4, size=2 * KiB, name=label)
+        vm.h2_tag_root(root, label)
+        vm.h2_move(label)
+        vm.major_gc()
+        roots.append(root)
+    a, b = roots
+    assert a.region_id != b.region_id
+    # A cross-region reference smuggled in without record_cross_region_ref
+    # (i.e. bypassing the write barrier) breaks dependency closure.
+    a.refs.append(b)
+    with pytest.raises(InvariantViolation) as excinfo:
+        vm.auditor.audit("major", vm.collector.mark_epoch)
+    assert any(
+        v.check == "h2-dependency-closure"
+        for v in excinfo.value.violations
+    )
+
+
+def test_config_rejects_unknown_audit_level():
+    with pytest.raises(ConfigError):
+        VMConfig(heap_size=gb(4), audit="bogus")
+
+
+# ======================================================================
+# CLI: a fig06-style faulted + audited run (the acceptance shape)
+# ======================================================================
+def test_cli_faulted_audited_fig06_run(capsys):
+    from repro.__main__ import main
+
+    rc = main(
+        [
+            "fig06",
+            "--workloads",
+            "SVD",
+            "--scale",
+            "0.3",
+            "--faults",
+            "42",
+            "--fault-rate",
+            "0.05",
+            "--audit",
+            "cheap",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    line = next(
+        ln for ln in out.splitlines() if ln.startswith("resilience:")
+    )
+    fields = dict(
+        part.split("=") for part in line.split(None)[1:] if "=" in part
+    )
+    assert float(fields["faults_injected"]) >= 50
+    assert float(fields["invariant_violations"]) == 0
+    assert float(fields["audits_run"]) > 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import JavaVM, TeraHeapConfig, VMConfig, gb
+from repro import JavaVM, VMConfig, gb
 from repro.devices.nvme import NVMeSSD
 from repro.frameworks.giraph import GiraphConf, GiraphMode, GiraphJob
 from repro.frameworks.giraph.combiners import (
@@ -11,7 +11,6 @@ from repro.frameworks.giraph.combiners import (
     resolve_combiner,
 )
 from repro.frameworks.giraph.programs import PageRankProgram
-from repro.units import KiB
 from repro.workloads.generators import make_graph
 
 

@@ -8,10 +8,10 @@ from repro.devices.mmap import MappedFile
 from repro.devices.nvme import NVMeSSD
 from repro.devices.page_cache import PageCache
 from repro.errors import OutOfMemoryError
-from repro.heap.object_model import HeapObject, SpaceId
+from repro.heap.object_model import HeapObject
 from repro.teraheap.h2_heap import H2_BASE, H2Heap
 from repro.teraheap.promotion import DIRECT_WRITE_THRESHOLD, PromotionManager
-from repro.units import KiB, MiB, gb
+from repro.units import KiB, gb
 
 
 @pytest.fixture

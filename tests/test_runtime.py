@@ -149,3 +149,33 @@ def test_collector_selection():
         )
     )
     assert type(vm.collector).__name__ == "PantheraCollector"
+
+
+def test_caller_supplied_h2_device_is_not_mutated():
+    """Regression: JavaVM used to rebind the caller's device in place,
+    silently redirecting another VM's I/O charges onto this VM's clock."""
+    from repro.clock import Clock
+    from repro.devices.nvme import NVMeSSD
+
+    shared_clock = Clock()
+    shared_device = NVMeSSD(shared_clock)
+    vm = JavaVM(
+        VMConfig(
+            heap_size=gb(4),
+            teraheap=TeraHeapConfig(
+                enabled=True, h2_size=gb(32), region_size=16 * KiB
+            ),
+        ),
+        h2_device=shared_device,
+    )
+    assert shared_device.clock is shared_clock
+    obj = vm.allocate(1024)
+    vm.roots.add(obj)
+    vm.h2_tag_root(obj, "x")
+    vm.h2_move("x")
+    vm.major_gc()
+    assert obj.space is SpaceId.H2
+    # All H2 traffic landed on the VM's own copy, none on the original.
+    assert shared_device.traffic.bytes_written == 0
+    assert shared_clock.now == 0.0
+    assert vm.h2.device.clock is vm.clock

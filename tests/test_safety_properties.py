@@ -8,7 +8,6 @@ collections — including lazy bulk region reclamation.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import JavaVM, TeraHeapConfig, VMConfig, gb

@@ -7,7 +7,6 @@ from repro.clock import Bucket
 from repro.devices.nvme import NVMeSSD
 from repro.frameworks.spark import (
     CachePolicy,
-    RDD,
     SparkConf,
     SparkContext,
 )
