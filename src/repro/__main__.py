@@ -15,6 +15,7 @@ Usage::
     python -m repro fig11b
     python -m repro fig12 --panel spark-mo
     python -m repro fig13a
+    python -m repro gcscale --scale 0.4
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ from .experiments import (
     fig11,
     fig12,
     fig13,
+    gc_scaling,
     table5,
 )
 
@@ -51,6 +53,7 @@ EXPERIMENTS = [
     "fig12",
     "fig13a",
     "fig13b",
+    "gcscale",
 ]
 
 
@@ -160,6 +163,14 @@ def main(argv=None) -> int:
         print(
             fig13.format_thread_scaling(
                 fig13.run_thread_scaling(scale=args.scale)
+            )
+        )
+    elif args.experiment == "gcscale":
+        print(
+            gc_scaling.format_scaling(
+                gc_scaling.run_scaling(
+                    batches=max(1, int(60 * args.scale))
+                )
             )
         )
     elif args.experiment == "fig13b":

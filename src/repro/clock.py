@@ -11,13 +11,20 @@ being accessed, so they charge to the clock's *current context*: callers
 wrap work in ``with clock.context(Bucket.MAJOR_GC): ...`` and any device
 time lands in that bucket.  Sub-buckets (e.g. major-GC phases) are tracked
 separately for Figure 11(b).
+
+Parallel GC phases use the *multi-lane* extension: ``clock.parallel(n)``
+opens a :class:`LaneSet` with one time lane per simulated GC worker.
+Lanes advance independently while the region is open, and on exit the
+mutator is charged the **critical path** — the maximum lane time — so
+parallel speedup, load imbalance and steal overhead are emergent rather
+than assumed.
 """
 
 from __future__ import annotations
 
 import enum
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class Bucket(enum.Enum):
@@ -27,6 +34,67 @@ class Bucket(enum.Enum):
     SD_IO = "sd_io"
     MINOR_GC = "minor_gc"
     MAJOR_GC = "major_gc"
+
+
+class LaneSet:
+    """Per-worker time lanes inside one parallel region.
+
+    Each lane accumulates *busy* (task execution), *steal* (work-stealing
+    transfer) and *overhead* (dispatch/termination protocol) seconds.
+    Idle time is not advanced explicitly: a lane is idle for whatever gap
+    remains between its own time and the critical path.
+    """
+
+    __slots__ = ("num_lanes", "busy", "steal", "overhead")
+
+    KINDS = ("busy", "steal", "overhead")
+
+    def __init__(self, lanes: int):
+        if lanes < 1:
+            raise ValueError(f"a parallel region needs >=1 lane, got {lanes}")
+        self.num_lanes = lanes
+        self.busy = [0.0] * lanes
+        self.steal = [0.0] * lanes
+        self.overhead = [0.0] * lanes
+
+    def advance(self, lane: int, seconds: float, kind: str = "busy") -> None:
+        """Move ``lane``'s local time forward by ``seconds``."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a lane by {seconds}")
+        if kind == "busy":
+            self.busy[lane] += seconds
+        elif kind == "steal":
+            self.steal[lane] += seconds
+        elif kind == "overhead":
+            self.overhead[lane] += seconds
+        else:
+            raise ValueError(
+                f"unknown lane charge kind {kind!r}; expected one of "
+                f"{self.KINDS}"
+            )
+
+    def lane_time(self, lane: int) -> float:
+        return self.busy[lane] + self.steal[lane] + self.overhead[lane]
+
+    @property
+    def critical_path(self) -> float:
+        """The pause the mutator observes: the slowest lane."""
+        return max(self.lane_time(i) for i in range(self.num_lanes))
+
+    def idle(self, lane: int) -> float:
+        return self.critical_path - self.lane_time(lane)
+
+    @property
+    def total_idle(self) -> float:
+        return sum(self.idle(i) for i in range(self.num_lanes))
+
+    @property
+    def imbalance(self) -> float:
+        """Critical path over mean lane time (1.0 = perfectly balanced)."""
+        total = sum(self.lane_time(i) for i in range(self.num_lanes))
+        if total <= 0.0:
+            return 1.0
+        return self.critical_path * self.num_lanes / total
 
 
 class Clock:
@@ -67,14 +135,36 @@ class Clock:
         finally:
             self._sub_context.pop()
 
+    @contextmanager
+    def parallel(self, lanes: int) -> Iterator[LaneSet]:
+        """Open a multi-lane parallel region with ``lanes`` worker lanes.
+
+        Lanes advance independently inside the block; on exit the clock
+        is charged the critical path (max over lanes) in the current
+        bucket/sub-bucket context.
+        """
+        lane_set = LaneSet(lanes)
+        try:
+            yield lane_set
+        finally:
+            self.charge(lane_set.critical_path)
+
     # ------------------------------------------------------------------
     # Charging
     # ------------------------------------------------------------------
-    def charge(self, seconds: float, bucket: Bucket = None) -> None:
+    def charge(self, seconds: float, bucket: Optional[Bucket] = None) -> None:
         """Add ``seconds`` to ``bucket`` (default: current context)."""
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
-        target = bucket if bucket is not None else self.current
+        if bucket is None:
+            target = self.current
+        elif isinstance(bucket, Bucket):
+            target = bucket
+        else:
+            raise ValueError(
+                f"unknown clock bucket {bucket!r}; expected a "
+                f"repro.clock.Bucket member or None"
+            )
         self._totals[target] += seconds
         if self._sub_context:
             name = self._sub_context[-1]

@@ -52,6 +52,17 @@ class CostModel:
     gc_pause_overhead: float = 2e-3
     #: summarising/installing one object's forwarding pointer (precompact)
     gc_forward_cost: float = 60e-6
+    #: examining one root-set entry while claiming a root partition
+    gc_root_scan_cost: float = 0.5e-6
+
+    # --- GC engine (task-based parallel scheduling) ---------------------
+    #: claiming one task from a worker's own deque
+    gc_task_dispatch_cost: float = 0.5e-6
+    #: one successful steal: CAS on the victim's deque top + cache misses
+    gc_steal_cost: float = 4e-6
+    #: per-worker share of the termination protocol ending a parallel
+    #: phase (offer/spin rounds); single-worker phases skip it
+    gc_termination_cost: float = 30e-6
 
     # --- Serialization (Kryo-calibrated) --------------------------------
     serialize_obj_cost: float = 0.5e-3
@@ -133,6 +144,48 @@ class TeraHeapConfig:
 
 
 @dataclass
+class GCEngineConfig:
+    """Task-based parallel GC engine parameters.
+
+    Batch sizes control task granularity: smaller batches balance better
+    across workers but pay more dispatch/steal overhead.  They are fixed
+    (not derived from the thread count) so a thread-scaling sweep runs
+    the identical task decomposition at every point.
+    """
+
+    #: work-stealing RNG seed (victim selection); never the global RNG
+    seed: int = 0x7E2A6C
+    #: record per-task events for the chrome://tracing exporter
+    trace: bool = False
+    #: objects per marking/scan batch task
+    scan_batch_objects: int = 24
+    #: objects per copy/compaction batch task (a promotion-buffer fill)
+    copy_batch_objects: int = 16
+    #: objects per forwarding-pointer (precompact) batch task
+    precompact_batch_objects: int = 64
+    #: H1 card-table entries per sweep-chunk task
+    card_chunk_cards: int = 2048
+    #: H2 card-table entries per sweep-chunk task (H2 tables are huge)
+    h2_sweep_chunk_cards: int = 16384
+    #: scanned H2 cards are grouped into this many stripe-owned slices
+    h2_slice_groups: int = 64
+
+    def __post_init__(self) -> None:
+        for name in (
+            "scan_batch_objects",
+            "copy_batch_objects",
+            "precompact_batch_objects",
+            "card_chunk_cards",
+            "h2_sweep_chunk_cards",
+            "h2_slice_groups",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if not isinstance(self.seed, int):
+            raise ConfigError("engine seed must be an integer")
+
+
+@dataclass
 class G1Config:
     """Garbage-First collector parameters (Figure 8 baseline)."""
 
@@ -166,6 +219,8 @@ class VMConfig:
     #: ps | ps11 | g1 | panthera | memmode (teraheap rides on ps)
     collector: str = "ps"
     gc_threads: int = 16
+    #: task-based parallel GC engine (seed, trace, batch granularity)
+    engine: GCEngineConfig = field(default_factory=GCEngineConfig)
     mutator_threads: int = 8
     #: H1 card segment size (vanilla JVM uses 512 B cards)
     card_segment_size: int = 512
@@ -196,6 +251,8 @@ class VMConfig:
             )
         if not 0.0 < self.young_fraction < 1.0:
             raise ConfigError("young_fraction must be in (0, 1)")
+        if self.gc_threads < 1:
+            raise ConfigError("gc_threads must be >= 1")
         if self.collector not in ("ps", "ps11", "g1", "panthera", "memmode"):
             raise ConfigError(f"unknown collector {self.collector!r}")
         if self.teraheap.enabled and self.collector not in ("ps", "ps11"):

@@ -1,0 +1,322 @@
+"""GC-thread scaling: pause time and parallel efficiency, 1 to 16 threads.
+
+Sweeps ``gc_threads`` over a deterministic allocation-churn workload and
+reports, per point: GC pause totals, the emergent speedup over the
+single-threaded engine schedule, parallel efficiency, and the engine's
+scheduling counters (tasks, steals, per-worker idle time, imbalance).
+With the task-based engine the speedup is an *output* — it comes from
+critical paths over simulated worker lanes, not from a scalar divisor —
+so this sweep is the direct check that parallel GC behaves: speedup must
+grow with threads but stay sub-linear (termination protocol, steal
+overhead, and chunky tasks all tax wide pools).
+
+The workload contains no randomness (the only RNG in the stack is the
+engine's seeded victim selection), so a point's report is byte-identical
+across runs; ``--check-baseline`` exploits that to fail CI when the
+1-thread pause regresses more than 10% against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import GCEngineConfig, VMConfig
+from ..runtime import JavaVM
+from ..units import KiB, gb
+
+#: gc_threads values of the sweep (the paper's testbed has 16 h/w threads)
+SWEEP_THREADS = (1, 2, 4, 8, 16)
+
+#: churn-workload shape (objects are 8 KiB simulated chunks)
+OBJECT_SIZE = 8 * KiB
+OBJECTS_PER_BATCH = 64
+#: every Nth batch contributes survivors to the resident store
+RETAIN_EVERY = 3
+#: every Nth object of a retained batch survives (with its sub-chain)
+RETAIN_STRIDE = 7
+#: resident-store size cap; eviction keeps old-gen churn (and major GCs)
+RESIDENT_CAP = 60
+
+#: allowed relative regression of the 1-thread pause vs the baseline
+BASELINE_TOLERANCE = 0.10
+
+
+@dataclass
+class ScalingPoint:
+    """One sweep point: a full churn run at a fixed ``gc_threads``."""
+
+    gc_threads: int
+    minor_count: int
+    major_count: int
+    total_pause_s: float
+    mean_minor_pause_s: float
+    #: engine-scheduled work: sum of raw task costs vs charged critical paths
+    serial_s: float
+    parallel_s: float
+    tasks: int
+    steals: int
+    idle_s: float
+    imbalance: float
+    worker_steals: List[int] = field(default_factory=list)
+    worker_idle_s: List[float] = field(default_factory=list)
+    #: total-pause speedup vs the 1-thread point (filled by run_scaling)
+    pause_speedup: float = 1.0
+
+    @property
+    def engine_speedup(self) -> float:
+        """Speedup of the engine-scheduled portion of the pauses."""
+        if self.parallel_s <= 0.0:
+            return 1.0
+        return self.serial_s / self.parallel_s
+
+    @property
+    def efficiency(self) -> float:
+        """Engine speedup per worker thread (1.0 = perfectly linear)."""
+        return self.engine_speedup / self.gc_threads
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "gc_threads": self.gc_threads,
+            "minor_count": self.minor_count,
+            "major_count": self.major_count,
+            "total_pause_s": round(self.total_pause_s, 9),
+            "mean_minor_pause_s": round(self.mean_minor_pause_s, 9),
+            "serial_s": round(self.serial_s, 9),
+            "parallel_s": round(self.parallel_s, 9),
+            "tasks": self.tasks,
+            "steals": self.steals,
+            "idle_s": round(self.idle_s, 9),
+            "imbalance": round(self.imbalance, 6),
+            "worker_steals": self.worker_steals,
+            "worker_idle_s": [round(v, 9) for v in self.worker_idle_s],
+            "pause_speedup": round(self.pause_speedup, 6),
+            "efficiency": round(self.efficiency, 6),
+        }
+
+
+def run_churn(
+    gc_threads: int, batches: int = 60, trace: bool = False
+) -> JavaVM:
+    """Run the deterministic churn workload on a fresh VM.
+
+    Allocates linked record batches; a fixed stride of every
+    ``RETAIN_EVERY``-th batch is attached to a rooted table (promoting
+    through the survivor spaces), and the resident store is evicted FIFO
+    beyond ``RESIDENT_CAP`` so the old generation churns and major GCs
+    occur.  No RNG anywhere: identical input at every thread count.
+    """
+    config = VMConfig(
+        heap_size=gb(8),
+        # The jdk11 PS flavour: old-gen collection is also parallel, so
+        # the sweep exercises the engine in every phase.
+        collector="ps11",
+        gc_threads=gc_threads,
+        # Finer-grained tasks than the defaults: the sweep's point is
+        # scheduling behaviour, so give 16 lanes enough tasks to fill.
+        engine=GCEngineConfig(
+            trace=trace,
+            scan_batch_objects=8,
+            copy_batch_objects=6,
+            precompact_batch_objects=24,
+            card_chunk_cards=512,
+        ),
+    )
+    vm = JavaVM(config)
+    table = vm.roots.add(vm.allocate(64 * KiB, name="table"))
+    resident: List = []
+    for i in range(batches):
+        batch = []
+        prev = None
+        for j in range(OBJECTS_PER_BATCH):
+            # Chains restart every RETAIN_STRIDE objects, so a retained
+            # object anchors a short record chain, not the whole batch.
+            if j % RETAIN_STRIDE == 0:
+                prev = None
+            obj = vm.allocate(
+                OBJECT_SIZE,
+                refs=[prev] if prev is not None else [],
+                name=f"rec-{i}-{j}",
+            )
+            prev = obj
+            batch.append(obj)
+        if i % RETAIN_EVERY == 0:
+            # Chain tails: each anchors its whole sub-chain.
+            for obj in batch[RETAIN_STRIDE - 1 :: RETAIN_STRIDE]:
+                vm.write_ref(table, obj)
+                resident.append(obj)
+        if len(resident) > RESIDENT_CAP:
+            evicted = resident[: len(resident) - RESIDENT_CAP]
+            resident = resident[len(evicted):]
+            for obj in evicted:
+                vm.write_ref(table, None, remove=obj)
+    return vm
+
+
+def measure(vm: JavaVM) -> ScalingPoint:
+    """Fold a finished run's GC stats into one ScalingPoint."""
+    stats = vm.collector.stats
+    workers = vm.config.gc_threads
+    worker_steals = [0] * workers
+    worker_idle = [0.0] * workers
+    for cycle in stats.cycles:
+        for idx, count in enumerate(cycle.worker_steals[:workers]):
+            worker_steals[idx] += count
+        for idx, sec in enumerate(cycle.worker_idle[:workers]):
+            worker_idle[idx] += sec
+    return ScalingPoint(
+        gc_threads=workers,
+        minor_count=stats.minor_count,
+        major_count=stats.major_count,
+        total_pause_s=stats.total_time("minor") + stats.total_time("major"),
+        mean_minor_pause_s=stats.mean_time("minor"),
+        serial_s=sum(c.parallel_serial_seconds for c in stats.cycles),
+        parallel_s=sum(c.parallel_seconds for c in stats.cycles),
+        tasks=stats.total_tasks(),
+        steals=stats.total_steals(),
+        idle_s=stats.total_idle(),
+        imbalance=stats.mean_imbalance(),
+        worker_steals=worker_steals,
+        worker_idle_s=worker_idle,
+    )
+
+
+def run_scaling(
+    threads: Sequence[int] = SWEEP_THREADS, batches: int = 60
+) -> List[ScalingPoint]:
+    """The sweep: one churn run per gc_threads value."""
+    points = [run_churn(t, batches=batches) for t in threads]
+    measured = [measure(vm) for vm in points]
+    base = next((p for p in measured if p.gc_threads == 1), measured[0])
+    for p in measured:
+        if p.total_pause_s > 0.0:
+            p.pause_speedup = base.total_pause_s / p.total_pause_s
+    return measured
+
+
+def format_scaling(points: List[ScalingPoint]) -> str:
+    lines = [
+        "thr  minor major  pause_s   speedup  eff    tasks  steals"
+        "  idle_s    imbal"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.gc_threads:3d}  {p.minor_count:5d} {p.major_count:5d}"
+            f"  {p.total_pause_s:8.4f}  {p.pause_speedup:6.2f}"
+            f"  {p.efficiency:5.2f}  {p.tasks:6d}  {p.steals:6d}"
+            f"  {p.idle_s:8.4f}  {p.imbalance:5.2f}"
+        )
+        steals = ",".join(str(s) for s in p.worker_steals)
+        idles = ",".join(f"{v:.4f}" for v in p.worker_idle_s)
+        lines.append(f"     worker_steals=[{steals}]")
+        lines.append(f"     worker_idle_s=[{idles}]")
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Baseline regression gate (CI)
+# ======================================================================
+def baseline_payload(points: List[ScalingPoint], batches: int) -> Dict:
+    return {
+        "schema": 1,
+        "batches": batches,
+        "points": [p.to_dict() for p in points],
+    }
+
+
+def check_baseline(
+    points: List[ScalingPoint], baseline: Dict
+) -> List[str]:
+    """Compare against a checked-in baseline; returns failure messages.
+
+    The gate is the 1-thread total pause: the engine at one worker must
+    reproduce the serial cost model, so a >10% drift there means the
+    task decomposition or the engine's overhead accounting changed.
+    """
+    failures: List[str] = []
+    base_points = {
+        p["gc_threads"]: p for p in baseline.get("points", [])
+    }
+    one = next((p for p in points if p.gc_threads == 1), None)
+    ref = base_points.get(1)
+    if one is None or ref is None:
+        return ["baseline or sweep lacks a gc_threads=1 point"]
+    ceiling = ref["total_pause_s"] * (1.0 + BASELINE_TOLERANCE)
+    if one.total_pause_s > ceiling:
+        failures.append(
+            "1-thread GC pause regressed: "
+            f"{one.total_pause_s:.6f}s vs baseline "
+            f"{ref['total_pause_s']:.6f}s (+{BASELINE_TOLERANCE:.0%} "
+            f"ceiling {ceiling:.6f}s)"
+        )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.gc_scaling",
+        description="GC-thread scaling sweep on the task-based GC engine",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="*",
+        default=list(SWEEP_THREADS),
+        help="gc_threads values to sweep",
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=None,
+        help="churn batches per point (default: 60, or 24 with --smoke)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast sweep (CI)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the sweep results as the new baseline JSON",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        metavar="PATH",
+        default=None,
+        help="fail if the 1-thread pause regresses >10%% vs this JSON",
+    )
+    args = parser.parse_args(argv)
+    batches = args.batches or (24 if args.smoke else 60)
+
+    points = run_scaling(args.threads, batches=batches)
+    print(format_scaling(points))
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as f:
+            json.dump(baseline_payload(points, batches), f, indent=2)
+            f.write("\n")
+        print(f"baseline written to {args.write_baseline}")
+    if args.check_baseline:
+        with open(args.check_baseline) as f:
+            baseline = json.load(f)
+        if baseline.get("batches") != batches:
+            print(
+                "warning: baseline batches="
+                f"{baseline.get('batches')} != sweep batches={batches}"
+            )
+        failures = check_baseline(points, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if failures:
+            return 1
+        print("baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -21,6 +21,32 @@ class GCCycle:
     #: major-GC phase durations: marking / precompact / adjust / compact
     phases: Dict[str, float] = field(default_factory=dict)
 
+    # --- task-based parallel engine observability ----------------------
+    #: configured GC worker threads for this cycle
+    gc_threads: int = 1
+    #: engine tasks executed across the cycle's parallel phases
+    tasks_executed: int = 0
+    #: successful work steals across the cycle
+    steals: int = 0
+    #: summed per-worker idle time (gap to the critical path)
+    idle_seconds: float = 0.0
+    #: critical path over mean active lane time (1.0 = balanced)
+    imbalance: float = 1.0
+    #: sum of raw task costs — what one worker would have executed
+    parallel_serial_seconds: float = 0.0
+    #: summed critical paths — what the pause was actually charged
+    parallel_seconds: float = 0.0
+    worker_busy: List[float] = field(default_factory=list)
+    worker_idle: List[float] = field(default_factory=list)
+    worker_steals: List[int] = field(default_factory=list)
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Emergent speedup of this cycle's engine-scheduled work."""
+        if self.parallel_seconds <= 0.0:
+            return 1.0
+        return self.parallel_serial_seconds / self.parallel_seconds
+
 
 @dataclass
 class GCStats:
@@ -48,6 +74,48 @@ class GCStats:
                 totals[phase] = totals.get(phase, 0.0) + duration
         return totals
 
+    # --- parallel-engine aggregates ------------------------------------
+    def total_tasks(self, kind: str = "") -> int:
+        return sum(
+            c.tasks_executed
+            for c in self.cycles
+            if not kind or c.kind == kind
+        )
+
+    def total_steals(self, kind: str = "") -> int:
+        return sum(
+            c.steals for c in self.cycles if not kind or c.kind == kind
+        )
+
+    def total_idle(self, kind: str = "") -> float:
+        return sum(
+            c.idle_seconds
+            for c in self.cycles
+            if not kind or c.kind == kind
+        )
+
+    def mean_imbalance(self, kind: str = "") -> float:
+        """Parallel-time-weighted mean imbalance over cycles with tasks."""
+        weight = 0.0
+        acc = 0.0
+        for c in self.cycles:
+            if (kind and c.kind != kind) or c.parallel_seconds <= 0.0:
+                continue
+            acc += c.imbalance * c.parallel_seconds
+            weight += c.parallel_seconds
+        return acc / weight if weight > 0.0 else 1.0
+
+    def parallel_efficiency(self, kind: str = "") -> float:
+        """serial / (threads * parallel) over the engine-scheduled work."""
+        serial = 0.0
+        bound = 0.0
+        for c in self.cycles:
+            if kind and c.kind != kind:
+                continue
+            serial += c.parallel_serial_seconds
+            bound += c.gc_threads * c.parallel_seconds
+        return serial / bound if bound > 0.0 else 1.0
+
     @property
     def minor_count(self) -> int:
         return self.count("minor")
@@ -69,10 +137,36 @@ class Collector:
     def __init__(self) -> None:
         self.stats = GCStats()
         self.mark_epoch = 0
+        #: engine phase executions of the in-flight cycle
+        self._cycle_execs: list = []
 
     def next_epoch(self) -> int:
         self.mark_epoch += 1
         return self.mark_epoch
+
+    # -- parallel-engine plumbing --------------------------------------
+    def begin_parallel_cycle(self) -> None:
+        self._cycle_execs = []
+
+    def note_execution(self, execution) -> None:
+        self._cycle_execs.append(execution)
+
+    def apply_parallel_stats(self, cycle: GCCycle, workers: int) -> None:
+        """Fold the cycle's engine executions into its GCCycle record."""
+        from .engine import summarize_executions
+
+        summary = summarize_executions(self._cycle_execs, workers)
+        cycle.gc_threads = workers
+        cycle.tasks_executed = summary.tasks
+        cycle.steals = summary.steals
+        cycle.idle_seconds = summary.idle_seconds
+        cycle.imbalance = summary.imbalance
+        cycle.parallel_serial_seconds = summary.serial_seconds
+        cycle.parallel_seconds = summary.parallel_seconds
+        cycle.worker_busy = summary.worker_busy
+        cycle.worker_idle = summary.worker_idle
+        cycle.worker_steals = summary.worker_steals
+        self._cycle_execs = []
 
     # -- interface ------------------------------------------------------
     def minor_gc(self) -> GCCycle:  # pragma: no cover - interface

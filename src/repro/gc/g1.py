@@ -25,7 +25,7 @@ from ..heap.heap import H1_BASE
 from ..heap.object_model import HeapObject, SpaceId
 from ..heap.roots import RootSet
 from .base import Collector, GCCycle
-from .parallel_scavenge import parallel_factor
+from .engine import GCTaskEngine, PhaseExecution, TaskBag
 
 
 class RegionState(enum.Enum):
@@ -240,13 +240,28 @@ class G1Collector(Collector):
         self.remset_sources: Set[int] = set()
         self.remset_objects: Dict[int, HeapObject] = {}
         # G1 parallel GC threads (the paper configures 8).
-        self._parallel = parallel_factor(min(config.gc_threads, 8))
+        self._workers = min(config.gc_threads, 8)
+        self.engine = GCTaskEngine(
+            clock,
+            config.cost,
+            workers=self._workers,
+            seed=config.engine.seed,
+            trace=config.engine.trace,
+            name=self.name,
+        )
         self.full_collections = 0
+
+    def _run_phase(self, bag: TaskBag, phase: str) -> PhaseExecution:
+        execution = self.engine.run(bag, phase)
+        self.note_execution(execution)
+        return execution
 
     # ------------------------------------------------------------------
     def _trace_young(self, epoch: int) -> List[HeapObject]:
         cost = self.cost
-        work = 0.0
+        batch = self.config.engine.scan_batch_objects
+        bag = TaskBag()
+        remset_scan = bag.batcher("g1-remset", "root", batch)
         stack = [o for o in self.roots if o.in_young]
         for oid in list(self.remset_sources):
             src = self.remset_objects.get(oid)
@@ -254,10 +269,11 @@ class G1Collector(Collector):
                 self.remset_sources.discard(oid)
                 self.remset_objects.pop(oid, None)
                 continue
-            work += cost.gc_visit_cost
+            remset_scan.add(
+                cost.gc_visit_cost + cost.gc_ref_cost * len(src.refs)
+            )
             has_young = False
             for ref in src.refs:
-                work += cost.gc_ref_cost
                 if ref.in_young:
                     has_young = True
                     stack.append(ref)
@@ -265,6 +281,8 @@ class G1Collector(Collector):
                 # Precise cleaning: the entry carries no young refs.
                 self.remset_sources.discard(oid)
                 self.remset_objects.pop(oid, None)
+        remset_scan.flush()
+        scan = bag.batcher("g1-young-scan", "scan", batch)
         live: List[HeapObject] = []
         while stack:
             obj = stack.pop()
@@ -272,12 +290,15 @@ class G1Collector(Collector):
                 continue
             obj.mark_epoch = epoch
             live.append(obj)
-            work += cost.gc_visit_cost * obj.scan_factor
+            scan.add(
+                cost.gc_visit_cost * obj.scan_factor
+                + cost.gc_ref_cost * len(obj.refs)
+            )
             for ref in obj.refs:
-                work += cost.gc_ref_cost
                 if ref.in_young and ref.mark_epoch < epoch:
                     stack.append(ref)
-        self.clock.charge(work / self._parallel)
+        scan.flush()
+        self._run_phase(bag, "g1-young-trace")
         return live
 
     def _evacuate(
@@ -288,17 +309,23 @@ class G1Collector(Collector):
         target = self.heap.take_free_region(state)
         if target is None and objects:
             return False
-        copy_bytes = 0
+        bag = TaskBag()
+        copier = bag.batcher(
+            "g1-copy", "copy", self.config.engine.copy_batch_objects
+        )
         for obj in objects:
             while target is not None and not target.allocate(obj):
                 target = self.heap.take_free_region(state)
             if target is None:
+                copier.flush()
+                self._run_phase(bag, "g1-evacuate")
                 return False
             obj.space = (
                 SpaceId.EDEN if state in _YOUNG_STATES else SpaceId.OLD
             )
-            copy_bytes += obj.size
-        self.clock.charge(copy_bytes / cost.gc_copy_bw / self._parallel)
+            copier.add(obj.size / cost.gc_copy_bw)
+        copier.flush()
+        self._run_phase(bag, "g1-evacuate")
         return True
 
     # ------------------------------------------------------------------
@@ -307,6 +334,7 @@ class G1Collector(Collector):
         start = self.clock.now
         with self.clock.context(Bucket.MINOR_GC):
             epoch = self.next_epoch()
+            self.begin_parallel_cycle()
             live = self._trace_young(epoch)
             young = heap.young_regions()
             for region in young:
@@ -339,6 +367,7 @@ class G1Collector(Collector):
                 live_bytes=sum(o.size for o in live),
                 promoted_bytes=sum(o.size for o in promoted),
             )
+            self.apply_parallel_stats(cycle, self._workers)
             self.stats.record(cycle)
             self.clock.record_event("minor_gc", duration)
             return cycle
@@ -347,7 +376,10 @@ class G1Collector(Collector):
     def _mark_all(self, epoch: int) -> List[HeapObject]:
         """Concurrent marking: CPU cost partially hidden behind mutators."""
         cost = self.cost
-        work = 0.0
+        bag = TaskBag()
+        mark = bag.batcher(
+            "g1-mark", "scan", self.config.engine.scan_batch_objects
+        )
         stack = [o for o in self.roots if o.space is not SpaceId.FREED]
         live: List[HeapObject] = []
         while stack:
@@ -356,14 +388,22 @@ class G1Collector(Collector):
                 continue
             obj.mark_epoch = epoch
             live.append(obj)
-            work += cost.gc_visit_cost * obj.scan_factor
+            # Roughly half the marking runs concurrently with the
+            # application (the paper's configuration: concurrent threads
+            # = parallel / 4), so only half of each object's cost lands
+            # in the pause the engine schedules.
+            mark.add(
+                0.5
+                * (
+                    cost.gc_visit_cost * obj.scan_factor
+                    + cost.gc_ref_cost * len(obj.refs)
+                )
+            )
             for ref in obj.refs:
-                work += cost.gc_ref_cost
                 if ref.mark_epoch < epoch:
                     stack.append(ref)
-        # Roughly half the marking runs concurrently with the application
-        # (the paper's configuration: concurrent threads = parallel / 4).
-        self.clock.charge(work * 0.5 / self._parallel)
+        mark.flush()
+        self._run_phase(bag, "g1-concurrent-mark")
         return live
 
     def major_gc(self) -> GCCycle:
@@ -372,6 +412,7 @@ class G1Collector(Collector):
         start = self.clock.now
         with self.clock.context(Bucket.MAJOR_GC):
             epoch = self.next_epoch()
+            self.begin_parallel_cycle()
             live = self._mark_all(epoch)
             live_bytes = sum(o.size for o in live)
 
@@ -413,6 +454,7 @@ class G1Collector(Collector):
                 duration=duration,
                 live_bytes=live_bytes,
             )
+            self.apply_parallel_stats(cycle, self._workers)
             self.stats.record(cycle)
             self.clock.record_event("major_gc", duration)
             return cycle
@@ -424,7 +466,10 @@ class G1Collector(Collector):
         self.full_collections += 1
         epoch = self.next_epoch()
         cost = self.cost
-        work = 0.0
+        bag = TaskBag()
+        mark = bag.batcher(
+            "g1-full-mark", "scan", self.config.engine.scan_batch_objects
+        )
         stack = [o for o in self.roots if o.space is not SpaceId.FREED]
         live: List[HeapObject] = []
         while stack:
@@ -433,8 +478,9 @@ class G1Collector(Collector):
                 continue
             obj.mark_epoch = epoch
             live.append(obj)
-            work += cost.gc_visit_cost + cost.gc_ref_cost * len(obj.refs)
+            mark.add(cost.gc_visit_cost + cost.gc_ref_cost * len(obj.refs))
             stack.extend(r for r in obj.refs if r.mark_epoch < epoch)
+        mark.flush()
         # Compact every non-humongous live object into fresh old regions.
         movable = []
         for region in heap.regions:
@@ -457,10 +503,17 @@ class G1Collector(Collector):
                     obj.space = SpaceId.FREED
             region.reset()
         heap._current_eden = None
-        self.clock.charge(work / self._parallel)
-        self.clock.charge(
-            sum(o.size for o in movable) / cost.gc_copy_bw / self._parallel
+        # Sliding the survivors out of their regions before re-placement
+        # (the subsequent evacuation pays the copy into fresh regions).
+        compact = bag.batcher(
+            "g1-full-compact",
+            "compact",
+            self.config.engine.copy_batch_objects,
         )
+        for obj in movable:
+            compact.add(obj.size / cost.gc_copy_bw)
+        compact.flush()
+        self._run_phase(bag, "g1-full-mark")
         if not self._evacuate(movable, RegionState.OLD):
             raise OutOfMemoryError(
                 "G1 full collection cannot fit live data "

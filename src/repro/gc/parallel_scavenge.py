@@ -10,18 +10,21 @@ Models the OpenJDK8 PS collector the paper extends (Section 4):
   assignment), pointer adjustment and compaction.  TeraHeap extends every
   phase via the hook methods this class exposes.
 
-Costs: CPU work (visits, reference follows, card checks, copying) is
-accumulated locally and charged once, divided by the effective GC-thread
-parallelism; device I/O charges the clock directly (bandwidth is not
-divisible by threads).  OpenJDK8 PS collects the old generation
-single-threaded (Section 6), so major-GC CPU work is *not* divided; the
-"ps11" flavour models the optimised jdk11 collector with partial
-old-generation parallelism.
+Costs: CPU work is decomposed into tasks — root-set partitions,
+dirty-card chunks, object-scan batches, copy batches, forwarding and
+compaction batches — and scheduled on the task-based parallel GC engine
+(:mod:`repro.gc.engine`): simulated worker threads pull from per-thread
+deques with seeded work stealing, and the pause is charged the critical
+path over the worker lanes.  Device I/O still charges the clock directly
+(bandwidth is not divisible by threads).  OpenJDK8 PS collects the old
+generation single-threaded (Section 6), so major-GC phases run on one
+worker; the "ps11" flavour models the optimised jdk11 collector with
+partial old-generation parallelism (ParallelOld).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..clock import Bucket, Clock
 from ..config import VMConfig
@@ -30,23 +33,17 @@ from ..heap.heap import ManagedHeap
 from ..heap.object_model import HeapObject, SpaceId
 from ..heap.roots import RootSet
 from .base import Collector, GCCycle
+from .engine import GCTaskEngine, PhaseExecution, TaskBag, chunked_sweep
 
 
 class PromotionFailure(Exception):
     """Internal: a scavenge could not promote; the VM must run a full GC."""
 
 
-def parallel_factor(threads: int) -> float:
-    """Effective speedup from ``threads`` GC threads (sub-linear)."""
-    return max(1.0, threads ** 0.8)
-
-
 class ParallelScavenge(Collector):
     """The PS collector over a :class:`ManagedHeap`."""
 
     name = "ps"
-    #: extra major-GC CPU parallelism of the jdk11 variant
-    major_parallelism = 1.0
 
     def __init__(
         self,
@@ -61,7 +58,26 @@ class ParallelScavenge(Collector):
         self.clock = clock
         self.config = config
         self.cost = config.cost
-        self._minor_parallel = parallel_factor(config.gc_threads)
+        self.engine = GCTaskEngine(
+            clock,
+            config.cost,
+            workers=config.gc_threads,
+            seed=config.engine.seed,
+            trace=config.engine.trace,
+            name=self.name,
+        )
+
+    def major_workers(self) -> int:
+        """GC threads collecting the old generation (jdk8 PS: one)."""
+        return 1
+
+    def _run_phase(
+        self, bag: TaskBag, phase: str, workers: Optional[int] = None
+    ) -> PhaseExecution:
+        """Schedule one phase's task bag and record its execution."""
+        execution = self.engine.run(bag, phase, workers=workers)
+        self.note_execution(execution)
+        return execution
 
     # ==================================================================
     # TeraHeap hook points (no-ops in plain PS)
@@ -132,33 +148,53 @@ class ParallelScavenge(Collector):
     def minor_gc(self) -> GCCycle:
         heap = self.heap
         cost = self.cost
+        eng_cfg = self.config.engine
         start = self.clock.now
         with self.clock.context(Bucket.MINOR_GC):
             epoch = self.next_epoch()
+            self.begin_parallel_cycle()
             self.clock.charge(cost.gc_pause_overhead)
-            work = 0.0
 
             # --- Roots: explicit roots + dirty-card old objects + H2 ----
+            bag = TaskBag()
             roots: List[HeapObject] = []
+            root_scan = bag.batcher("minor-roots", "root", 128)
             for obj in self.roots:
+                root_scan.add(cost.gc_root_scan_cost)
                 if obj.in_young:
                     roots.append(obj)
-            work += cost.card_check_cost * heap.card_table.num_cards
+            root_scan.flush()
             scanned_cards: List[Tuple[int, List[HeapObject]]] = []
+            card_work: Dict[int, float] = {}
             for card in heap.card_table.dirty_cards():
                 lo, hi = heap.card_table.card_range(card)
                 on_card = heap.old.objects_overlapping(lo, hi)
                 scanned_cards.append((card, on_card))
+                work = 0.0
                 for old_obj in on_card:
                     work += cost.gc_visit_cost
+                    work += cost.gc_ref_cost * len(old_obj.refs)
                     for ref in old_obj.refs:
-                        work += cost.gc_ref_cost
                         if ref.in_young:
                             roots.append(ref)
+                card_work[card] = work
+            chunked_sweep(
+                bag,
+                "h1-cards",
+                heap.card_table.num_cards,
+                cost.card_check_cost,
+                eng_cfg.card_chunk_cards,
+                extra=card_work,
+            )
+            self._run_phase(bag, "minor-roots")
             h2_roots = self.minor_h2_roots()
             roots.extend(h2_roots)
 
             # --- Trace live young objects -------------------------------
+            bag = TaskBag()
+            scan = bag.batcher(
+                "minor-scan", "scan", eng_cfg.scan_batch_objects
+            )
             live_young: List[HeapObject] = []
             stack = [o for o in roots if o.in_young]
             while stack:
@@ -167,19 +203,26 @@ class ParallelScavenge(Collector):
                     continue
                 obj.mark_epoch = epoch
                 live_young.append(obj)
-                work += cost.gc_visit_cost * obj.scan_factor
+                scan.add(
+                    cost.gc_visit_cost * obj.scan_factor
+                    + cost.gc_ref_cost * len(obj.refs)
+                )
                 for ref in obj.refs:
-                    work += cost.gc_ref_cost
                     if ref.in_young and ref.mark_epoch < epoch:
                         stack.append(ref)
                     # Old-gen and H2 targets are not traversed in a
                     # scavenge; H2 targets are additionally fenced.
+            scan.flush()
+            self._run_phase(bag, "minor-trace")
 
             # --- Copy phase ----------------------------------------------
+            copy_bag = TaskBag()
+            copier = copy_bag.batcher(
+                "minor-copy", "copy", eng_cfg.copy_batch_objects
+            )
             to_space = heap.survivor_to
             promote: List[HeapObject] = []
             survivors: List[HeapObject] = []
-            copy_bytes = 0
             planned_survivor_bytes = 0
             for obj in live_young:
                 obj.age += 1
@@ -193,8 +236,8 @@ class ParallelScavenge(Collector):
                     promote.append(obj)
             if sum(o.size for o in promote) > heap.old.free:
                 # Promotion failure: abandon the scavenge, caller runs a
-                # full collection instead.
-                self.clock.charge(work / self._minor_parallel)
+                # full collection instead.  Root and trace work is already
+                # charged; no copying happened yet.
                 raise PromotionFailure()
 
             dead = [
@@ -214,19 +257,22 @@ class ParallelScavenge(Collector):
                 if not to_space.allocate(obj):
                     promote.append(obj)
                     continue
-                copy_bytes += obj.size
+                copier.add(obj.size / cost.gc_copy_bw)
                 relocated.add(obj.oid)
                 self.on_minor_copy(obj)
             promoted_bytes = 0
             for obj in promote:
                 if not heap.old.allocate(obj):
-                    self.clock.charge(work / self._minor_parallel)
+                    copier.flush()
+                    self._run_phase(copy_bag, "minor-copy")
                     raise PromotionFailure()
-                copy_bytes += obj.size
+                copier.add(obj.size / cost.gc_copy_bw)
                 promoted_bytes += obj.size
                 relocated.add(obj.oid)
                 self.on_minor_copy(obj)
             heap.swap_survivors()
+            copier.flush()
+            self._run_phase(copy_bag, "minor-copy")
 
             # --- Card maintenance ---------------------------------------
             # Precise cleaning: a scanned card stays dirty only if its
@@ -251,9 +297,6 @@ class ParallelScavenge(Collector):
 
             self.minor_h2_post_copy(relocated)
 
-            work += copy_bytes / cost.gc_copy_bw
-            self.clock.charge(work / self._minor_parallel)
-
             duration = self.clock.now - start
             cycle = GCCycle(
                 kind="minor",
@@ -264,6 +307,7 @@ class ParallelScavenge(Collector):
                 promoted_bytes=promoted_bytes,
                 old_occupancy_after=heap.old.occupancy,
             )
+            self.apply_parallel_stats(cycle, self.config.gc_threads)
             self.stats.record(cycle)
             self.clock.record_event("minor_gc", duration)
             return cycle
@@ -274,16 +318,22 @@ class ParallelScavenge(Collector):
     def major_gc(self) -> GCCycle:
         heap = self.heap
         cost = self.cost
+        eng_cfg = self.config.engine
+        workers = self.major_workers()
         start = self.clock.now
         phases: Dict[str, float] = {}
         with self.clock.context(Bucket.MAJOR_GC):
             epoch = self.next_epoch()
+            self.begin_parallel_cycle()
             self.clock.charge(cost.gc_pause_overhead)
 
             # ---------------- Phase 1: marking --------------------------
             t0 = self.clock.now
             with self.clock.sub_context("marking"):
-                work = 0.0
+                bag = TaskBag()
+                mark = bag.batcher(
+                    "major-mark", "scan", eng_cfg.scan_batch_objects
+                )
                 self.pre_major_mark()
                 stack: List[HeapObject] = []
                 for obj in self.roots:
@@ -301,20 +351,23 @@ class ParallelScavenge(Collector):
                         continue
                     obj.mark_epoch = epoch
                     live.append(obj)
-                    work += cost.gc_visit_cost * obj.scan_factor
+                    mark.add(
+                        cost.gc_visit_cost * obj.scan_factor
+                        + cost.gc_ref_cost * len(obj.refs)
+                    )
                     self.on_mark_visit(obj)
                     for ref in obj.refs:
-                        work += cost.gc_ref_cost
                         if self.is_fenced(ref):
                             # Fence: never cross from H1 into H2.
                             self.on_forward_reference(ref)
                             continue
                         if ref.mark_epoch < epoch:
                             stack.append(ref)
+                mark.flush()
+                self._run_phase(bag, "major-mark", workers=workers)
                 live_bytes = sum(o.size for o in live)
                 movers = self.select_h2_movers(live, live_bytes, epoch)
                 self.after_marking(epoch)
-                self.clock.charge(work / self.major_parallelism)
             phases["marking"] = self.clock.now - t0
 
             # ---------------- Phase 2: pre-compaction -------------------
@@ -340,7 +393,15 @@ class ParallelScavenge(Collector):
                     (o for o in live if o.oid not in mover_ids),
                     key=lambda o: (space_rank.get(o.space, 4), o.address),
                 )
-                work = cost.gc_forward_cost * len(live)
+                bag = TaskBag()
+                forward = bag.batcher(
+                    "major-forward",
+                    "precompact",
+                    eng_cfg.precompact_batch_objects,
+                )
+                for _ in live:
+                    forward.add(cost.gc_forward_cost)
+                forward.flush()
                 total_stay = sum(o.size for o in stayers)
                 if total_stay > heap.old.capacity + heap.eden.capacity:
                     raise OutOfMemoryError(
@@ -363,16 +424,22 @@ class ParallelScavenge(Collector):
                         obj.forward_space = SpaceId.EDEN
                         eden_cursor += obj.size
                         in_eden.append(obj)
-                self.clock.charge(work / self.major_parallelism)
+                self._run_phase(bag, "major-precompact", workers=workers)
             phases["precompact"] = self.clock.now - t0
 
             # ---------------- Phase 3: pointer adjustment ---------------
             t0 = self.clock.now
             with self.clock.sub_context("adjust"):
-                work = 0.0
+                bag = TaskBag()
+                adjust = bag.batcher(
+                    "major-adjust", "scan", eng_cfg.scan_batch_objects
+                )
                 for obj in live:
-                    work += cost.gc_visit_cost
-                    work += cost.gc_ref_cost * len(obj.refs)
+                    adjust.add(
+                        cost.gc_visit_cost
+                        + cost.gc_ref_cost * len(obj.refs)
+                    )
+                adjust.flush()
                 stayer_ids = {o.oid for o in stayers}
                 # Backward-reference maintenance first: it reclassifies the
                 # cards scanned at marking time, and the mover adjustments
@@ -380,13 +447,16 @@ class ParallelScavenge(Collector):
                 # backward references that must not be clobbered.
                 self.adjust_h2_backward_refs()
                 self.adjust_mover_references(movers, stayer_ids)
-                self.clock.charge(work / self.major_parallelism)
+                self._run_phase(bag, "major-adjust", workers=workers)
             phases["adjust"] = self.clock.now - t0
 
             # ---------------- Phase 4: compaction ------------------------
             t0 = self.clock.now
             with self.clock.sub_context("compact"):
-                work = 0.0
+                bag = TaskBag()
+                compact = bag.batcher(
+                    "major-compact", "compact", eng_cfg.copy_batch_objects
+                )
                 for obj in in_old:
                     moved = obj.address != obj.forward_address
                     obj.address = obj.forward_address
@@ -394,7 +464,7 @@ class ParallelScavenge(Collector):
                     obj.forward_address = -1
                     obj.forward_space = None
                     if moved:
-                        work += obj.size / cost.gc_copy_bw
+                        compact.add(obj.size / cost.gc_copy_bw)
                         self.on_compact_move(obj)
                 for obj in in_eden:
                     moved = obj.address != obj.forward_address
@@ -403,9 +473,10 @@ class ParallelScavenge(Collector):
                     obj.forward_address = -1
                     obj.forward_space = None
                     if moved:
-                        work += obj.size / cost.gc_copy_bw
+                        compact.add(obj.size / cost.gc_copy_bw)
+                compact.flush()
+                self._run_phase(bag, "major-compact", workers=workers)
                 self.compact_movers(movers)
-                self.clock.charge(work / self.major_parallelism)
 
                 # Install post-compaction space contents.
                 for space in (heap.eden, heap.survivor_from, heap.survivor_to):
@@ -445,6 +516,7 @@ class ParallelScavenge(Collector):
                 old_occupancy_after=heap.old.occupancy,
                 phases=phases,
             )
+            self.apply_parallel_stats(cycle, workers)
             self.stats.record(cycle)
             self.clock.record_event("major_gc", duration)
             return cycle
@@ -455,8 +527,10 @@ class ParallelScavengeJDK11(ParallelScavenge):
 
     jdk11's PS collects the old generation with parallel compaction
     (ParallelOld), which the paper's jdk8 configuration ran
-    single-threaded; we model that as partial major-GC parallelism.
+    single-threaded; we model that as a small pool of old-gen workers.
     """
 
     name = "ps11"
-    major_parallelism = 2.2
+
+    def major_workers(self) -> int:
+        return min(self.config.gc_threads, 4)

@@ -1,5 +1,20 @@
-"""Result collection: execution-time breakdowns and per-run reports."""
+"""Result collection: execution-time breakdowns, per-run reports, and
+GC-schedule trace export (CSV + Chrome Trace Event JSON)."""
 
+from .chrome_trace import (
+    chrome_trace_events,
+    chrome_trace_json,
+    vm_engine,
+    write_chrome_trace,
+)
 from .report import ExperimentResult, collect_result, normalize
 
-__all__ = ["ExperimentResult", "collect_result", "normalize"]
+__all__ = [
+    "ExperimentResult",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "collect_result",
+    "normalize",
+    "vm_engine",
+    "write_chrome_trace",
+]

@@ -1,0 +1,80 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto) export of GC schedules.
+
+When ``VMConfig.engine.trace`` is on, the GC task engine records one
+complete ("ph": "X") event per executed task: which simulated worker ran
+it, when it started on that worker's lane, how long it took (dispatch +
+steal + task cost), and the phase it belonged to.  This module packages
+those events as a Chrome Trace Event JSON document, so a GC cycle's
+per-thread timeline — including steals and end-of-phase imbalance — can
+be inspected visually.
+
+Output is deterministic: events are emitted in execution order and the
+JSON is serialized with sorted keys, so two runs with the same seed
+produce byte-identical trace files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+def chrome_trace_events(engine: Any) -> List[Dict[str, Any]]:
+    """The engine's task events plus thread-naming metadata events.
+
+    ``engine`` is a :class:`~repro.gc.engine.GCTaskEngine`; its
+    ``trace_events`` list is empty unless tracing was enabled in
+    ``VMConfig.engine``.
+    """
+    events: List[Dict[str, Any]] = []
+    workers = getattr(engine, "workers", 0)
+    name = getattr(engine, "name", "gc")
+    events.append(
+        {
+            "args": {"name": f"{name} engine"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+        }
+    )
+    for tid in range(workers):
+        events.append(
+            {
+                "args": {"name": f"{name} worker {tid}"},
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+            }
+        )
+    events.extend(engine.trace_events)
+    return events
+
+
+def chrome_trace_json(engine: Any, label: str = "run") -> str:
+    """Serialize an engine's schedule as a Chrome Trace Event document."""
+    doc = {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label,
+            "workers": getattr(engine, "workers", 0),
+            "phases": getattr(engine, "total_phases", 0),
+            "tasks": getattr(engine, "total_tasks", 0),
+            "steals": getattr(engine, "total_steals", 0),
+        },
+        "traceEvents": chrome_trace_events(engine),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def vm_engine(vm: Any) -> Optional[Any]:
+    """The GC task engine of a VM's collector, if it has one."""
+    return getattr(getattr(vm, "collector", None), "engine", None)
+
+
+def write_chrome_trace(path: str, engine: Any, label: str = "run") -> None:
+    """Write the engine's schedule to ``path`` (open with Perfetto or
+    ``chrome://tracing``)."""
+    with open(path, "w") as f:
+        f.write(chrome_trace_json(engine, label=label))

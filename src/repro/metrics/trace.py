@@ -34,6 +34,12 @@ def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
             "precompact_s",
             "adjust_s",
             "compact_s",
+            "gc_threads",
+            "tasks",
+            "steals",
+            "idle_s",
+            "imbalance",
+            "parallel_speedup",
         ]
     )
     for c in cycles:
@@ -51,6 +57,12 @@ def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
                 f"{c.phases.get('precompact', 0.0):.6f}",
                 f"{c.phases.get('adjust', 0.0):.6f}",
                 f"{c.phases.get('compact', 0.0):.6f}",
+                c.gc_threads,
+                c.tasks_executed,
+                c.steals,
+                f"{c.idle_seconds:.6f}",
+                f"{c.imbalance:.4f}",
+                f"{c.parallel_speedup:.4f}",
             ]
         )
     return out.getvalue()

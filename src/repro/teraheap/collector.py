@@ -24,6 +24,7 @@ from typing import Dict, List, Set, Tuple
 from ..clock import Clock
 from ..config import VMConfig
 from ..errors import DeviceFullError, SegmentationFault
+from ..gc.engine import TaskBag, chunked_sweep
 from ..gc.parallel_scavenge import ParallelScavenge
 from ..heap.heap import ManagedHeap
 from ..heap.object_model import HeapObject, SpaceId
@@ -84,11 +85,25 @@ class TeraHeapCollector(ParallelScavenge):
         Checking the conceptual table costs one check per card (the table
         is a DRAM byte array); each to-scan card additionally loads its
         segment's objects from the device and inspects their references.
+        The sweep and the per-card scans are decomposed into engine tasks
+        — sweep chunks plus stripe-owned card slices — and scheduled over
+        at most ``scan_parallelism`` workers, so stripe ownership bounds
+        the parallelism exactly as in the striped table design (§3.4).
+        Device reads (``scan_load``) stay serial: bandwidth is not
+        divisible by GC threads.
         """
         table = self.h2.card_table
         cost = self.cost
+        eng_cfg = self.config.engine
         parallelism = table.scan_parallelism(self.config.gc_threads)
-        work = cost.card_check_cost * table.num_cards
+        bag = TaskBag()
+        chunked_sweep(
+            bag,
+            "h2-sweep",
+            table.num_cards,
+            cost.card_check_cost,
+            eng_cfg.h2_sweep_chunk_cards,
+        )
         cards = table.cards_to_scan(major=major)
         if not self.four_state and not major:
             # Two-state ablation: oldGen knowledge is unavailable, so
@@ -102,6 +117,7 @@ class TeraHeapCollector(ParallelScavenge):
             cards = sorted(set(cards) | set(extra))
         roots: List[HeapObject] = []
         scanned: List[Tuple[int, List[HeapObject]]] = []
+        slice_work: Dict[int, float] = {}
         for card in cards:
             lo, hi = table.card_range(card)
             region = self.h2.region_at(lo)
@@ -111,10 +127,11 @@ class TeraHeapCollector(ParallelScavenge):
             on_card = region.objects_overlapping(lo, hi)
             # Reading device-resident objects to inspect their references.
             self.h2.scan_load(lo, hi - lo)
+            card_work = 0.0
             for obj in on_card:
-                work += cost.gc_visit_cost
+                card_work += cost.gc_visit_cost
                 for ref in obj.refs:
-                    work += cost.gc_ref_cost
+                    card_work += cost.gc_ref_cost
                     if ref.in_h1:
                         if major or ref.in_young:
                             roots.append(ref)
@@ -129,8 +146,21 @@ class TeraHeapCollector(ParallelScavenge):
                         self.h2.record_cross_region_ref(
                             obj.region_id, ref.region_id
                         )
+            # Scanned cards become stripe-owned slice tasks: a slice
+            # starts on its owning worker's deque and only migrates to
+            # another worker by stealing.
+            group = table.stripe_of_card(card) % eng_cfg.h2_slice_groups
+            slice_work[group] = slice_work.get(group, 0.0) + card_work
             scanned.append((card, on_card))
-        self.clock.charge(work / parallelism)
+        for group in sorted(slice_work):
+            bag.add(
+                f"h2-slice-{group}",
+                slice_work[group],
+                kind="h2scan",
+                affinity=group,
+            )
+        phase = "h2-major-scan" if major else "h2-minor-scan"
+        self._run_phase(bag, phase, workers=parallelism)
         return roots, scanned
 
     def _classify_card(self, objects: List[HeapObject]) -> CardState:
@@ -212,7 +242,10 @@ class TeraHeapCollector(ParallelScavenge):
         cost = self.cost
         # --- transitive closure of tagged root key-objects --------------
         groups: Dict[str, List[HeapObject]] = {}
-        work = 0.0
+        bag = TaskBag()
+        closure = bag.batcher(
+            "h2-closure", "scan", self.config.engine.scan_batch_objects
+        )
         for root in self.hints.tagged_roots():
             if root.mark_epoch < epoch or not root.in_h1:
                 continue  # dead or already-moved roots do not transfer
@@ -236,12 +269,14 @@ class TeraHeapCollector(ParallelScavenge):
                 obj.label = label
                 obj.h2_candidate = True
                 members.append(obj)
-                work += cost.gc_visit_cost
+                closure.add(
+                    cost.gc_visit_cost + cost.gc_ref_cost * len(obj.refs)
+                )
                 for ref in obj.refs:
-                    work += cost.gc_ref_cost
                     if ref.in_h1 and not ref.h2_candidate:
                         stack.append(ref)
-        self.clock.charge(work / self.major_parallelism)
+        closure.flush()
+        self._run_phase(bag, "h2-closure", workers=self.major_workers())
 
         # Include groups tagged in earlier GCs but not yet transferred.
         grouped_oids = {

@@ -1,8 +1,8 @@
-"""Clock: bucket accounting, contexts, sub-buckets, snapshots."""
+"""Clock: bucket accounting, contexts, sub-buckets, snapshots, lanes."""
 
 import pytest
 
-from repro.clock import Bucket, Clock
+from repro.clock import Bucket, Clock, LaneSet
 
 
 def test_initial_state():
@@ -105,3 +105,76 @@ def test_record_event():
 def test_breakdown_keys_match_paper():
     clock = Clock()
     assert set(clock.breakdown()) == {"other", "sd_io", "minor_gc", "major_gc"}
+
+
+def test_charge_bucket_none_uses_current_context():
+    clock = Clock()
+    with clock.context(Bucket.MINOR_GC):
+        clock.charge(1.0, None)
+    assert clock.total(Bucket.MINOR_GC) == 1.0
+
+
+def test_charge_unknown_bucket_rejected():
+    clock = Clock()
+    with pytest.raises(ValueError, match="unknown clock bucket"):
+        clock.charge(1.0, "minor_gc")
+    with pytest.raises(ValueError):
+        clock.charge(1.0, 3)
+    assert clock.now == 0.0
+
+
+# ----------------------------------------------------------------------
+# Multi-lane extension (the GC engine's substrate)
+# ----------------------------------------------------------------------
+def test_lane_set_requires_a_lane():
+    with pytest.raises(ValueError):
+        LaneSet(0)
+
+
+def test_lane_set_critical_path_and_idle():
+    lanes = LaneSet(3)
+    lanes.advance(0, 2.0)
+    lanes.advance(1, 1.0, kind="steal")
+    lanes.advance(1, 0.5, kind="overhead")
+    assert lanes.lane_time(0) == 2.0
+    assert lanes.lane_time(1) == 1.5
+    assert lanes.critical_path == 2.0
+    assert lanes.idle(1) == pytest.approx(0.5)
+    assert lanes.idle(2) == pytest.approx(2.0)
+    assert lanes.total_idle == pytest.approx(2.5)
+
+
+def test_lane_set_imbalance():
+    lanes = LaneSet(2)
+    lanes.advance(0, 3.0)
+    lanes.advance(1, 1.0)
+    # critical * lanes / total = 3 * 2 / 4
+    assert lanes.imbalance == pytest.approx(1.5)
+    assert LaneSet(2).imbalance == 1.0
+
+
+def test_lane_set_rejects_bad_input():
+    lanes = LaneSet(2)
+    with pytest.raises(ValueError):
+        lanes.advance(0, -1.0)
+    with pytest.raises(ValueError):
+        lanes.advance(0, 1.0, kind="sleeping")
+
+
+def test_parallel_charges_critical_path_to_context():
+    clock = Clock()
+    with clock.context(Bucket.MINOR_GC):
+        with clock.parallel(4) as lanes:
+            lanes.advance(0, 1.0)
+            lanes.advance(1, 2.5)
+            lanes.advance(2, 0.25)
+    assert clock.total(Bucket.MINOR_GC) == pytest.approx(2.5)
+    assert clock.now == pytest.approx(2.5)
+
+
+def test_parallel_single_lane_is_serial():
+    clock = Clock()
+    with clock.parallel(1) as lanes:
+        lanes.advance(0, 1.0)
+        lanes.advance(0, 2.0)
+    assert clock.now == pytest.approx(3.0)

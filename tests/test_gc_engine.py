@@ -1,0 +1,351 @@
+"""Task-based GC engine: scheduling, determinism, scalar-model parity."""
+
+import json
+
+import pytest
+
+from repro.clock import Bucket, Clock
+from repro.config import CostModel, VMConfig
+from repro.devices.nvme import NVMeSSD
+from repro.experiments import gc_scaling
+from repro.experiments.configs import SPARK_DR2_GB, SPARK_WORKLOADS_TABLE3
+from repro.frameworks.spark import CachePolicy, SparkConf, SparkContext
+from repro.frameworks.spark.workloads import SPARK_WORKLOADS
+from repro.gc.base import GCCycle, GCStats
+from repro.gc.engine import GCTaskEngine, TaskBag, chunked_sweep
+from repro.metrics import chrome_trace_json
+from repro.metrics.trace import gc_timeline_csv
+from repro.runtime import JavaVM
+from repro.units import gb
+
+
+def make_engine(workers=4, trace=False, clock=None):
+    return GCTaskEngine(
+        clock or Clock(), CostModel(), workers=workers, seed=7, trace=trace
+    )
+
+
+# ======================================================================
+# Task decomposition
+# ======================================================================
+def test_task_bag_rejects_negative_cost():
+    bag = TaskBag()
+    with pytest.raises(ValueError):
+        bag.add("bad", -1.0)
+
+
+def test_batch_builder_emits_fixed_size_batches():
+    bag = TaskBag()
+    b = bag.batcher("scan", "scan", 4)
+    for _ in range(10):
+        b.add(0.5)
+    b.flush()
+    assert len(bag) == 3  # 4 + 4 + 2
+    assert bag.serial_seconds == pytest.approx(5.0)
+    assert [t.name for t in bag] == ["scan-0", "scan-1", "scan-2"]
+    b.flush()  # idempotent on an empty builder
+    assert len(bag) == 3
+
+
+def test_chunked_sweep_folds_extra_costs_with_affinity():
+    bag = TaskBag()
+    chunked_sweep(
+        bag, "cards", 10, per_item_cost=1.0, chunk_items=4,
+        extra={0: 5.0, 9: 7.0},
+    )
+    tasks = list(bag)
+    assert [t.cost for t in tasks] == [9.0, 4.0, 9.0]  # 4+5, 4, 2+7
+    assert [t.affinity for t in tasks] == [0, 1, 2]
+    empty = TaskBag()
+    chunked_sweep(empty, "cards", 0, 1.0, 4)
+    assert not empty
+
+
+# ======================================================================
+# Engine scheduling
+# ======================================================================
+def test_empty_bag_charges_nothing():
+    clock = Clock()
+    engine = make_engine(clock=clock)
+    execution = engine.run(TaskBag(), "noop")
+    assert execution.tasks == 0
+    assert clock.now == 0.0
+
+
+def test_single_worker_charges_serial_cost_plus_dispatch():
+    clock = Clock()
+    cost = CostModel()
+    engine = make_engine(workers=1, clock=clock)
+    bag = TaskBag()
+    for i in range(5):
+        bag.add(f"t{i}", 1.0)
+    execution = engine.run(bag, "phase")
+    expected = 5.0 + 5 * cost.gc_task_dispatch_cost
+    assert clock.now == pytest.approx(expected)
+    assert execution.steals == 0
+    assert execution.idle_seconds == 0.0
+    assert execution.imbalance == pytest.approx(1.0)
+
+
+def test_workers_capped_by_task_count():
+    engine = make_engine(workers=16)
+    bag = TaskBag()
+    bag.add("a", 1.0)
+    bag.add("b", 1.0)
+    execution = engine.run(bag, "phase")
+    assert execution.workers == 2
+
+
+def test_parallel_run_beats_serial_and_reports_lanes():
+    clock = Clock()
+    engine = make_engine(workers=4, clock=clock)
+    bag = TaskBag()
+    for i in range(32):
+        bag.add(f"t{i}", 0.01)
+    execution = engine.run(bag, "phase")
+    assert execution.critical_path < execution.serial_seconds
+    assert clock.now == pytest.approx(execution.critical_path)
+    assert execution.speedup > 2.0
+    assert len(execution.per_worker) == 4
+    assert sum(w.tasks for w in execution.per_worker) == 32
+    assert execution.imbalance >= 1.0
+
+
+def test_affinity_skew_forces_steals():
+    engine = make_engine(workers=4)
+    bag = TaskBag()
+    for i in range(16):
+        bag.add(f"t{i}", 0.01, affinity=0)  # all on worker 0's deque
+    execution = engine.run(bag, "phase")
+    assert execution.steals > 0
+    thieves = [w for w in execution.per_worker if w.index != 0]
+    assert sum(w.tasks for w in thieves) > 0
+    assert sum(w.steals for w in thieves) == execution.steals
+
+
+def test_termination_cost_only_with_multiple_workers():
+    cost = CostModel()
+    c1, c2 = Clock(), Clock()
+    bag1, bag2 = TaskBag(), TaskBag()
+    for bag in (bag1, bag2):
+        bag.add("a", 1.0)
+        bag.add("b", 1.0)
+    make_engine(workers=1, clock=c1).run(bag1, "p")
+    make_engine(workers=2, clock=c2).run(bag2, "p")
+    # Two equal tasks split perfectly across two lanes: half the busy
+    # time, plus the termination protocol each worker pays.
+    assert c2.now == pytest.approx(
+        1.0 + cost.gc_task_dispatch_cost + cost.gc_termination_cost
+    )
+    assert c1.now == pytest.approx(2.0 + 2 * cost.gc_task_dispatch_cost)
+
+
+def test_engine_charges_into_current_bucket():
+    clock = Clock()
+    engine = make_engine(workers=2, clock=clock)
+    bag = TaskBag()
+    bag.add("a", 1.0)
+    with clock.context(Bucket.MAJOR_GC):
+        engine.run(bag, "phase")
+    assert clock.total(Bucket.MAJOR_GC) > 0.0
+    assert clock.total(Bucket.OTHER) == 0.0
+
+
+# ======================================================================
+# Determinism (satellite: seeded stealing, byte-identical runs)
+# ======================================================================
+def test_two_runs_are_byte_identical():
+    vm1 = gc_scaling.run_churn(4, batches=8, trace=True)
+    vm2 = gc_scaling.run_churn(4, batches=8, trace=True)
+    assert vm1.breakdown() == vm2.breakdown()
+    csv1 = gc_timeline_csv(vm1.collector.stats.cycles)
+    csv2 = gc_timeline_csv(vm2.collector.stats.cycles)
+    assert csv1 == csv2
+    trace1 = chrome_trace_json(vm1.collector.engine)
+    trace2 = chrome_trace_json(vm2.collector.engine)
+    assert trace1 == trace2
+    assert vm1.collector.engine.total_steals > 0
+
+
+def test_engine_seed_comes_from_config():
+    vm = gc_scaling.run_churn(2, batches=2)
+    assert vm.config.engine.seed == 0x7E2A6C
+
+
+# ======================================================================
+# Chrome-trace export
+# ======================================================================
+def test_chrome_trace_document_shape():
+    vm = gc_scaling.run_churn(2, batches=6, trace=True)
+    doc = json.loads(chrome_trace_json(vm.collector.engine, label="churn"))
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in meta} >= {"process_name", "thread_name"}
+    assert spans, "tracing produced no task events"
+    for span in spans:
+        assert span["tid"] in (0, 1)
+        assert span["dur"] >= 0
+        assert "kind" in span["args"]
+    assert doc["otherData"]["tasks"] == vm.collector.engine.total_tasks
+
+
+def test_trace_disabled_by_default():
+    vm = gc_scaling.run_churn(2, batches=4)
+    assert vm.collector.engine.trace_events == []
+
+
+# ======================================================================
+# Single-thread parity with the scalar model (fig06 workload)
+# ======================================================================
+def _fig06_cell_vm(gc_threads: int) -> JavaVM:
+    """One Figure 6 Spark-SD cell (PR, largest DRAM point)."""
+    cfg = SPARK_WORKLOADS_TABLE3["PR"]
+    dram = cfg.sd_drams[-1]
+    heap_gb = max(dram - SPARK_DR2_GB, dram / 2)
+    vm = JavaVM(
+        VMConfig(
+            heap_size=gb(heap_gb),
+            collector="ps",
+            gc_threads=gc_threads,
+            page_cache_size=gb(SPARK_DR2_GB),
+        )
+    )
+    ctx = SparkContext(
+        vm,
+        SparkConf(
+            cache_policy=CachePolicy.SD,
+            offheap_device=NVMeSSD(vm.clock),
+        ),
+    )
+    SPARK_WORKLOADS["PR"](ctx, gb(cfg.dataset_gb), scale=0.25)
+    return vm
+
+
+def test_single_thread_within_5pct_of_scalar_model_on_fig06():
+    """gc_threads=1: engine overhead (dispatch; no stealing, no
+    termination) must keep every cycle within 5% of the pre-engine
+    scalar cost model, whose pause was exactly the serial task cost."""
+    vm = _fig06_cell_vm(1)
+    cycles = [c for c in vm.collector.stats.cycles if c.tasks_executed]
+    assert cycles, "fig06 cell ran no GC"
+    for cycle in cycles:
+        overhead = cycle.parallel_seconds - cycle.parallel_serial_seconds
+        assert overhead >= 0.0
+        scalar_duration = cycle.duration - overhead
+        assert cycle.duration <= scalar_duration * 1.05
+        assert cycle.steals == 0
+        assert cycle.idle_seconds == 0.0
+        assert cycle.imbalance == pytest.approx(1.0)
+
+
+# ======================================================================
+# Thread scaling (sweep shape)
+# ======================================================================
+def test_scaling_monotone_and_sublinear():
+    points = gc_scaling.run_scaling((1, 2, 4, 8, 16), batches=16)
+    by_threads = {p.gc_threads: p for p in points}
+    pauses = [by_threads[t].total_pause_s for t in (1, 2, 4, 8, 16)]
+    assert pauses == sorted(pauses, reverse=True)
+    prev = 0.0
+    for t in (2, 4, 8, 16):
+        p = by_threads[t]
+        assert p.pause_speedup > prev  # monotone in threads
+        assert p.pause_speedup < t  # sub-linear (overheads tax lanes)
+        assert len(p.worker_steals) == t
+        assert len(p.worker_idle_s) == t
+        prev = p.pause_speedup
+    assert by_threads[1].pause_speedup == pytest.approx(1.0)
+    # Wide pools steal and idle; the serial point cannot.
+    assert by_threads[16].steals > 0
+    assert by_threads[16].idle_s > by_threads[1].idle_s
+
+
+def test_scaling_baseline_gate():
+    points = gc_scaling.run_scaling((1, 2), batches=10)
+    assert points[0].total_pause_s > 0.0, "churn run must trigger GC"
+    payload = gc_scaling.baseline_payload(points, batches=10)
+    assert gc_scaling.check_baseline(points, payload) == []
+    shrunk = json.loads(json.dumps(payload))
+    shrunk["points"][0]["total_pause_s"] /= 2.0
+    failures = gc_scaling.check_baseline(points, shrunk)
+    assert failures and "regressed" in failures[0]
+    assert gc_scaling.check_baseline(points, {"points": []})
+
+
+# ======================================================================
+# GCStats aggregation (satellite: phase_totals / mean_time coverage)
+# ======================================================================
+def _cycle(kind, duration, **kwargs):
+    return GCCycle(kind=kind, start_time=0.0, duration=duration, **kwargs)
+
+
+def test_gcstats_phase_totals_and_mean_time():
+    stats = GCStats()
+    stats.record(_cycle("minor", 1.0))
+    stats.record(_cycle("minor", 3.0))
+    stats.record(
+        _cycle("major", 10.0, phases={"marking": 6.0, "compact": 4.0})
+    )
+    stats.record(
+        _cycle("major", 20.0, phases={"marking": 12.0, "adjust": 8.0})
+    )
+    assert stats.mean_time("minor") == pytest.approx(2.0)
+    assert stats.mean_time("major") == pytest.approx(15.0)
+    assert stats.mean_time("concurrent") == 0.0  # no such cycles
+    assert stats.phase_totals() == {
+        "marking": 18.0,
+        "compact": 4.0,
+        "adjust": 8.0,
+    }
+
+
+def test_gcstats_parallel_aggregates():
+    stats = GCStats()
+    stats.record(
+        _cycle(
+            "minor", 2.0, gc_threads=4, tasks_executed=10, steals=2,
+            idle_seconds=0.5, imbalance=1.2,
+            parallel_serial_seconds=4.0, parallel_seconds=1.5,
+        )
+    )
+    stats.record(
+        _cycle(
+            "major", 6.0, gc_threads=4, tasks_executed=30, steals=4,
+            idle_seconds=1.5, imbalance=1.4,
+            parallel_serial_seconds=12.0, parallel_seconds=4.5,
+        )
+    )
+    assert stats.total_tasks() == 40
+    assert stats.total_tasks("minor") == 10
+    assert stats.total_steals() == 6
+    assert stats.total_idle("major") == pytest.approx(1.5)
+    # Parallel-time-weighted: (1.2*1.5 + 1.4*4.5) / 6.0
+    assert stats.mean_imbalance() == pytest.approx(1.35)
+    # serial / (threads * parallel) = 16 / (4 * 6)
+    assert stats.parallel_efficiency() == pytest.approx(16.0 / 24.0)
+    assert stats.cycles[0].parallel_speedup == pytest.approx(4.0 / 1.5)
+
+
+def test_gcstats_parallel_aggregates_single_thread_edge():
+    vm = gc_scaling.run_churn(1, batches=8)
+    stats = vm.collector.stats
+    assert stats.cycles
+    for cycle in stats.cycles:
+        assert cycle.gc_threads == 1
+        assert cycle.steals == 0
+        assert cycle.idle_seconds == 0.0
+        assert cycle.imbalance == pytest.approx(1.0)
+        assert cycle.worker_busy and len(cycle.worker_busy) == 1
+        assert cycle.worker_steals == [0]
+    assert stats.total_steals() == 0
+    assert stats.mean_imbalance() == pytest.approx(1.0)
+    # Only dispatch overhead separates the engine from the serial model.
+    assert 0.99 <= stats.parallel_efficiency() <= 1.0
+
+
+def test_empty_stats_defaults():
+    stats = GCStats()
+    assert stats.mean_imbalance() == 1.0
+    assert stats.parallel_efficiency() == 1.0
+    assert stats.total_tasks() == 0
