@@ -40,6 +40,8 @@ from .errors import (
     ReproError,
     SegmentationFault,
     SerializationError,
+    SimulatedCrash,
+    UnrecoverableCrash,
 )
 from .faults import FaultConfig, FaultInjector, FaultKind, FaultPlan
 from .faults.policy import ResiliencePolicy, RetryPolicy
@@ -78,9 +80,11 @@ __all__ = [
     "RetryPolicy",
     "SegmentationFault",
     "SerializationError",
+    "SimulatedCrash",
     "SpaceId",
     "TB",
     "TeraHeapConfig",
+    "UnrecoverableCrash",
     "VMConfig",
     "Violation",
     "gb",

@@ -16,6 +16,7 @@ Usage::
     python -m repro fig12 --panel spark-mo
     python -m repro fig13a
     python -m repro gcscale --scale 0.4
+    python -m repro chaoskill --scale 0.5
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from . import faults as faults_mod
 from .faults.plan import FaultConfig
 from .experiments import (
     barrier,
+    chaoskill,
     fig06,
     fig07,
     fig08,
@@ -54,6 +56,7 @@ EXPERIMENTS = [
     "fig13a",
     "fig13b",
     "gcscale",
+    "chaoskill",
 ]
 
 
@@ -88,6 +91,14 @@ def main(argv=None) -> int:
         help="per-operation fault probability (with --faults)",
     )
     parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="decouple the fault/crash schedule from the workload seed "
+        "(default: derived from --faults)",
+    )
+    parser.add_argument(
         "--audit",
         choices=["cheap", "full"],
         default=None,
@@ -104,6 +115,7 @@ def main(argv=None) -> int:
         faults_mod.set_default_fault_config(
             FaultConfig(
                 seed=args.faults,
+                fault_seed=args.fault_seed,
                 read_error_rate=rate,
                 write_error_rate=rate,
                 latency_spike_rate=rate,
@@ -113,6 +125,7 @@ def main(argv=None) -> int:
         )
     if args.audit is not None:
         faults_mod.set_default_audit_level(args.audit)
+    status = 0
     if args.experiment == "table5":
         print(table5.format_results(table5.run()))
     elif args.experiment == "barrier":
@@ -173,6 +186,13 @@ def main(argv=None) -> int:
                 )
             )
         )
+    elif args.experiment == "chaoskill":
+        chaos_args = ["--check"]
+        if args.scale < 1.0:
+            chaos_args.append("--smoke")
+        if args.fault_seed is not None:
+            chaos_args.extend(["--fault-seed", str(args.fault_seed)])
+        status = chaoskill.main(chaos_args)
     elif args.experiment == "fig13b":
         results = fig13.run_dataset_scaling(scale=args.scale)
         for workload, per_system in results.items():
@@ -191,11 +211,13 @@ def main(argv=None) -> int:
             f"ops_retried={summary['ops_retried']:.0f} "
             f"retry_exhaustions={summary['retry_exhaustions']:.0f} "
             f"degradations={summary['degradations']:.0f} "
+            f"crashes={summary['crashes']:.0f} "
+            f"recoveries={summary['recoveries']:.0f} "
             f"audits_run={summary['audits_run']:.0f} "
             f"invariant_violations={summary['invariant_violations']:.0f}"
         )
         faults_mod.reset_defaults()
-    return 0
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -83,6 +83,11 @@ class CostModel:
     #: extra reference-range check TeraHeap adds to the barrier (Section 4)
     teraheap_barrier_extra: float = 0.25e-6
 
+    # --- Durability ------------------------------------------------------
+    #: fsync/msync barrier: the fixed cost of forcing the device to make
+    #: queued writes durable (drive cache flush), charged per commit epoch
+    fsync_cost: float = 0.5e-3
+
 
 @dataclass
 class TeraHeapConfig:
@@ -127,12 +132,22 @@ class TeraHeapConfig:
     #: align objects to stripes so boundary cards never stay dirty; False
     #: reproduces the vanilla JVM's sticky boundary cards (Section 3.4)
     stripe_aligned: bool = True
+    #: crash-consistency writeback policy: "none" (legacy — the durable
+    #: image is tracked passively, nothing extra is charged), "commit"
+    #: (msync + region-header journal + superblock at the end of every
+    #: major GC), or "flush" ("commit" plus an msync after every minor
+    #: GC, so mutator stores to H2 become durable between commits)
+    writeback_policy: str = "none"
 
     def __post_init__(self) -> None:
         if self.stripe_size is None:
             self.stripe_size = self.region_size
         if self.region_policy not in ("deps", "groups"):
             raise ConfigError(f"unknown region policy {self.region_policy!r}")
+        if self.writeback_policy not in ("none", "commit", "flush"):
+            raise ConfigError(
+                f"unknown writeback policy {self.writeback_policy!r}"
+            )
         if not 0.0 < self.high_threshold <= 1.0:
             raise ConfigError("high_threshold must be in (0, 1]")
         if self.low_threshold is not None and not (

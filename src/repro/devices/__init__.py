@@ -9,6 +9,7 @@ and optional huge pages (HugeMap, Section 6).
 
 from .base import AccessPattern, Device, DeviceTraffic
 from .dram import DRAM
+from .durability import DurableImage, image_of
 from .mmap import MappedFile
 from .nvm import NVM, NVMMode
 from .nvme import NVMeSSD
@@ -19,6 +20,8 @@ __all__ = [
     "Device",
     "DeviceTraffic",
     "DRAM",
+    "DurableImage",
+    "image_of",
     "MappedFile",
     "NVM",
     "NVMMode",

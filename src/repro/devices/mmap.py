@@ -52,6 +52,7 @@ class MappedFile:
         if cache.page_size != self.page_size:
             cache.page_size = self.page_size
             cache.max_pages = max(1, cache.max_pages * BASE_PAGE // self.page_size)
+            cache.durable_image.page_size = self.page_size
 
     # ------------------------------------------------------------------
     def contains(self, address: int) -> bool:
@@ -121,12 +122,14 @@ class MappedFile:
         self._maybe_sigbus(address, misses)
         return hits, misses
 
-    def write_explicit(self, address: int, nbytes: int) -> int:
+    def write_explicit(
+        self, address: int, nbytes: int, safepoint: str = "h2_write"
+    ) -> int:
         """Batched explicit write bypassing the fault path (promotion I/O)."""
         pages = self._pages_for(address, nbytes)
-        return self.cache.write_through(pages)
+        return self.cache.write_through(pages, safepoint=safepoint)
 
-    def write_explicit_many(self, spans) -> int:
+    def write_explicit_many(self, spans, safepoint: str = "h2_write") -> int:
         """Write several (address, nbytes) spans as one coalesced batch.
 
         Spans that share pages (e.g. several regions inside one huge page)
@@ -137,7 +140,15 @@ class MappedFile:
             pages.update(self._pages_for(address, nbytes))
         if not pages:
             return 0
-        return self.cache.write_through(sorted(pages))
+        return self.cache.write_through(sorted(pages), safepoint=safepoint)
+
+    def pages_for(self, address: int, nbytes: int) -> range:
+        """Public page-span lookup (durable-image checks during recovery)."""
+        return self._pages_for(address, nbytes)
+
+    def msync(self) -> int:
+        """Flush the mapping's dirty pages to the device (``msync(2)``)."""
+        return self.cache.msync()
 
     def discard(self, address: int, nbytes: int) -> None:
         """Drop a range without writeback (freeing dead H2 regions)."""

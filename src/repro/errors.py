@@ -81,6 +81,35 @@ class DeviceFullError(DeviceIOError):
         self.requested = requested
 
 
+class SimulatedCrash(ReproError):
+    """The simulated process died at a crash safepoint.
+
+    Raised by the fault machinery when a seed-scheduled kill fires.  All
+    volatile state (DRAM heaps, H2 metadata, page-cache dirty bits) is
+    lost; only the :class:`~repro.devices.durability.DurableImage` built
+    by the writeback/torn-write model survives and can be handed to
+    :meth:`~repro.teraheap.h2_heap.H2Heap.recover`.
+    """
+
+    def __init__(self, message: str, safepoint: str = "", op_index: int = -1):
+        super().__init__(message)
+        self.safepoint = safepoint
+        self.op_index = op_index
+
+
+class UnrecoverableCrash(ReproError):
+    """The durable image left by a crash cannot be recovered.
+
+    Carries a diff-style ``report`` (also the message) naming exactly
+    what the recovery scan expected versus what the image holds — e.g. a
+    torn superblock, or a manifest region with no readable header.
+    """
+
+    def __init__(self, message: str, problems=()):
+        super().__init__(message)
+        self.problems = list(problems)
+
+
 class InvariantViolation(ReproError):
     """A post-GC heap audit found inconsistent runtime state.
 

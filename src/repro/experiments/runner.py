@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import faults as faults_mod
 from ..config import PantheraConfig, TeraHeapConfig, VMConfig
 from ..devices.base import Device
 from ..devices.nvm import NVM
@@ -150,7 +151,7 @@ def run_spark_workload(
         SPARK_WORKLOADS[workload](ctx, dataset, scale=scale)
     except OutOfMemoryError:
         oom = True
-    return collect_result(
+    result = collect_result(
         vm,
         workload,
         system,
@@ -158,6 +159,11 @@ def run_spark_workload(
         heap_gb=vm.config.heap_size / gb(1),
         oom=oom,
     )
+    # Fold this cell's resilience counters into the process-wide totals
+    # and drop its policy/auditor registrations: the next cell starts
+    # with fresh registries but the CLI aggregate stays complete.
+    faults_mod.reset_registries()
+    return result
 
 
 # ======================================================================
@@ -242,4 +248,5 @@ def run_giraph_workload(
         heap_gb=vm.config.heap_size / gb(1),
         oom=oom,
     )
+    faults_mod.reset_registries()
     return result, vm, job

@@ -22,7 +22,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from .events import DegradationEvent, FaultEvent, ResilienceLog, RetryEvent
+from .events import (
+    CrashEvent,
+    DegradationEvent,
+    FaultEvent,
+    RecoveryEvent,
+    ResilienceLog,
+    RetryEvent,
+)
 from .injector import FaultInjector
 from .plan import FaultConfig, FaultKind, FaultPlan, FaultRecord, IOOutcome
 from .policy import ResiliencePolicy, RetryPolicy, is_transient
@@ -37,6 +44,8 @@ __all__ = [
     "FaultEvent",
     "RetryEvent",
     "DegradationEvent",
+    "CrashEvent",
+    "RecoveryEvent",
     "ResilienceLog",
     "RetryPolicy",
     "ResiliencePolicy",
@@ -48,6 +57,7 @@ __all__ = [
     "registered_policies",
     "registered_auditors",
     "reset_defaults",
+    "reset_registries",
     "resilience_summary",
 ]
 
@@ -58,6 +68,10 @@ _default_audit_level: Optional[str] = None
 # experiment builds, and cleared by reset_defaults().
 _policies: List[ResiliencePolicy] = []
 _auditors: List[object] = []
+# Counters folded out of registries cleared by reset_registries(), so an
+# experiment runner can drop per-cell VM references between configs
+# without losing the CLI's end-of-run aggregate.
+_summary_totals: Dict[str, float] = {}
 
 
 def set_default_fault_config(config: Optional[FaultConfig]) -> None:
@@ -97,30 +111,56 @@ def registered_auditors() -> List[object]:
 
 
 def reset_defaults() -> None:
-    """Clear global defaults and registries (tests, CLI teardown)."""
+    """Clear global defaults, registries and folded totals (teardown)."""
     global _default_fault_config, _default_audit_level
     _default_fault_config = None
     _default_audit_level = None
     _policies.clear()
     _auditors.clear()
+    _summary_totals.clear()
 
 
-def resilience_summary() -> Dict[str, float]:
-    """Aggregate counters across every registered policy and auditor."""
-    totals: Dict[str, float] = {
+def reset_registries() -> None:
+    """Drop registered policies/auditors, folding their counters first.
+
+    Experiment runners call this between configs so back-to-back runs in
+    one process don't leak *live object references* (and per-VM counters)
+    across cells, while :func:`resilience_summary` still reports the
+    whole process's aggregate at the end.  The armed defaults stay
+    installed — only the per-VM registries are drained.
+    """
+    folded = resilience_summary()
+    _summary_totals.clear()
+    _summary_totals.update(folded)
+    _policies.clear()
+    _auditors.clear()
+
+
+def _empty_totals() -> Dict[str, float]:
+    return {
         "faults_injected": 0.0,
         "faults_seen": 0.0,
         "ops_retried": 0.0,
         "retry_exhaustions": 0.0,
         "degradations": 0.0,
         "backoff_seconds": 0.0,
+        "crashes": 0.0,
+        "recoveries": 0.0,
         "audits_run": 0.0,
         "invariant_violations": 0.0,
     }
+
+
+def resilience_summary() -> Dict[str, float]:
+    """Aggregate counters across every registered policy and auditor,
+    plus anything folded in by earlier :func:`reset_registries` calls."""
+    totals = _empty_totals()
+    for key, value in _summary_totals.items():
+        totals[key] = totals.get(key, 0.0) + value
     for policy in _policies:
         totals["faults_injected"] += policy.plan.total_injected
         for key, value in policy.log.summary().items():
-            totals[key] += value
+            totals[key] = totals.get(key, 0.0) + value
     for auditor in _auditors:
         totals["audits_run"] += getattr(auditor, "audits_run", 0)
         totals["invariant_violations"] += getattr(

@@ -43,6 +43,25 @@ class DegradationEvent:
     failures: int
 
 
+@dataclass
+class CrashEvent:
+    """The simulated process was killed at a crash safepoint."""
+
+    time: float
+    safepoint: str
+    detail: str = ""
+
+
+@dataclass
+class RecoveryEvent:
+    """An H2 image was recovered after a crash."""
+
+    time: float
+    recovered: int
+    quarantined: int
+    detail: str = ""
+
+
 class ResilienceLog:
     """Accumulates fault/retry/degradation events for one VM."""
 
@@ -50,6 +69,8 @@ class ResilienceLog:
         self.faults: List[FaultEvent] = []
         self.retries: List[RetryEvent] = []
         self.degradations: List[DegradationEvent] = []
+        self.crashes: List[CrashEvent] = []
+        self.recoveries: List[RecoveryEvent] = []
 
     # ------------------------------------------------------------------
     def record_fault(
@@ -66,6 +87,18 @@ class ResilienceLog:
         self, time: float, reason: str, failures: int
     ) -> None:
         self.degradations.append(DegradationEvent(time, reason, failures))
+
+    def record_crash(
+        self, time: float, safepoint: str, detail: str = ""
+    ) -> None:
+        self.crashes.append(CrashEvent(time, safepoint, detail))
+
+    def record_recovery(
+        self, time: float, recovered: int, quarantined: int, detail: str = ""
+    ) -> None:
+        self.recoveries.append(
+            RecoveryEvent(time, recovered, quarantined, detail)
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -84,6 +117,14 @@ class ResilienceLog:
     def degraded_count(self) -> int:
         return len(self.degradations)
 
+    @property
+    def crash_count(self) -> int:
+        return len(self.crashes)
+
+    @property
+    def recovery_count(self) -> int:
+        return len(self.recoveries)
+
     def summary(self) -> Dict[str, float]:
         """Flat counters, ready to merge into an experiment result."""
         return {
@@ -92,4 +133,6 @@ class ResilienceLog:
             "retry_exhaustions": float(self.retry_exhaustions),
             "degradations": float(self.degraded_count),
             "backoff_seconds": sum(r.delay for r in self.retries),
+            "crashes": float(self.crash_count),
+            "recoveries": float(self.recovery_count),
         }

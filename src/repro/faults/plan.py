@@ -34,6 +34,7 @@ class FaultKind(enum.Enum):
     LATENCY_SPIKE = "latency_spike"
     DEVICE_FULL = "device_full"
     SIGBUS = "sigbus"
+    CRASH = "crash"
 
 
 @dataclass
@@ -46,6 +47,9 @@ class FaultConfig:
     """
 
     seed: int = 42
+    #: independent seed for the fault/crash schedule; ``None`` derives it
+    #: from ``seed`` (the workload seed), preserving the old coupling
+    fault_seed: Optional[int] = None
     #: transient error probability per device read / write
     read_error_rate: float = 0.0
     write_error_rate: float = 0.0
@@ -69,6 +73,18 @@ class FaultConfig:
     failure_budget: int = 3
     #: whether exceeding the budget degrades (False: keep limping along)
     degrade: bool = True
+    # --- crash scheduling ----------------------------------------------
+    #: named safepoint to kill the process at ("promotion_flush",
+    #: "h2_flush", "region_metadata_update", "major_compact",
+    #: "epoch_commit", "msync", "writeback"); ``None`` disables targeting
+    crash_point: Optional[str] = None
+    #: which visit of ``crash_point`` fires the kill (1 = first)
+    crash_after: int = 1
+    #: additionally, per-safepoint-visit crash probability (seed sweeps)
+    crash_rate: float = 0.0
+    #: pin the torn-write cut of a crashed batch (pages that land before
+    #: the kill); ``None`` draws it from the crash RNG
+    crash_cut: Optional[int] = None
 
 
 @dataclass
@@ -97,11 +113,18 @@ class FaultPlan:
 
     def __init__(self, config: FaultConfig):
         self.config = config
-        self._rng = Random(config.seed)
+        seed = config.seed if config.fault_seed is None else config.fault_seed
+        self._rng = Random(seed)
+        # Crash scheduling draws from its own stream so arming (or
+        # re-seeding) crashes never perturbs the I/O fault schedule.
+        self._crash_rng = Random(seed ^ 0x5C4A_11ED)
         self.op_index = 0
         self.schedule: List[FaultRecord] = []
         self.injected: Dict[FaultKind, int] = {k: 0 for k in FaultKind}
         self._suspended = 0
+        #: visits per crash safepoint (deterministic given the workload)
+        self.safepoint_hits: Dict[str, int] = {}
+        self.crashed = False
 
     # ------------------------------------------------------------------
     @property
@@ -169,6 +192,51 @@ class FaultPlan:
             self._record(FaultKind.SIGBUS, device, detail=f"{address:#x}")
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Crash scheduling (FaultKind.CRASH)
+    # ------------------------------------------------------------------
+    def crash_batch_cut(self, safepoint: str, npages: int) -> Optional[int]:
+        """Should the process die at this safepoint visit — and where?
+
+        Returns ``None`` (no crash) or the torn-write cut ``c`` in
+        ``[0, npages]``: the first ``c`` pages of the in-flight batch
+        land on the device; if ``c < npages`` the page at the cut is
+        torn; everything after never reaches the device.  Visits are
+        counted per safepoint so ``crash_point``/``crash_after`` target
+        the N-th occurrence deterministically; ``crash_rate`` draws from
+        the crash RNG, never the I/O stream.  Suspended queries neither
+        count nor draw, mirroring :meth:`suspend`'s guarantee.
+        """
+        if self.suspended or self.crashed:
+            return None
+        cfg = self.config
+        if cfg.crash_point is None and cfg.crash_rate <= 0.0:
+            return None
+        hits = self.safepoint_hits.get(safepoint, 0) + 1
+        self.safepoint_hits[safepoint] = hits
+        fire = (
+            cfg.crash_point == safepoint and hits == cfg.crash_after
+        )
+        if not fire and cfg.crash_rate > 0.0:
+            fire = self._crash_rng.random() < cfg.crash_rate
+        if not fire:
+            return None
+        if cfg.crash_cut is not None:
+            cut = max(0, min(cfg.crash_cut, npages))
+        else:
+            cut = self._crash_rng.randint(0, npages)
+        self.crashed = True
+        self._record(
+            FaultKind.CRASH,
+            "process",
+            detail=f"{safepoint}#{hits} cut={cut}/{npages}",
+        )
+        return cut
+
+    def crash_outcome(self, safepoint: str) -> bool:
+        """Non-batch safepoint: kill here?  (No pages in flight.)"""
+        return self.crash_batch_cut(safepoint, 0) is not None
 
     # ------------------------------------------------------------------
     @property

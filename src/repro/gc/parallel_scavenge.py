@@ -142,6 +142,9 @@ class ParallelScavenge(Collector):
     def compact_movers(self, movers: "List[Tuple[HeapObject, str]]") -> None:
         """Write movers to the device through promotion buffers."""
 
+    def on_major_complete(self, epoch: int) -> None:
+        """End-of-major-GC hook: TeraHeap commits its durable epoch here."""
+
     # ==================================================================
     # Minor GC
     # ==================================================================
@@ -505,6 +508,7 @@ class ParallelScavenge(Collector):
                             heap.card_table.mark(obj.address)
             phases["compact"] = self.clock.now - t0
 
+            self.on_major_complete(epoch)
             duration = self.clock.now - start
             moved_bytes = sum(o.size for o, _ in movers)
             cycle = GCCycle(

@@ -163,6 +163,18 @@ class HeapAuditor:
             )
 
     def _check_h2_regions(self, out: List[Violation]) -> None:
+        for index, reason in getattr(self.h2, "quarantined", {}).items():
+            region = self.h2.regions.get(index)
+            if region is not None and not region.is_empty:
+                out.append(
+                    Violation(
+                        "h2-quarantine",
+                        f"region {index} quarantined by recovery "
+                        f"({reason})",
+                        "no region allocated at a quarantined index",
+                        f"region holds {len(region.objects)} object(s)",
+                    )
+                )
         for region in self.h2.regions.values():
             prev_end = region.start
             prev_obj = None

@@ -52,8 +52,90 @@ def chrome_trace_events(engine: Any) -> List[Dict[str, Any]]:
     return events
 
 
-def chrome_trace_json(engine: Any, label: str = "run") -> str:
-    """Serialize an engine's schedule as a Chrome Trace Event document."""
+def _instant(
+    time: float, name: str, args: Dict[str, Any]
+) -> Dict[str, Any]:
+    """One global-scope instant event at simulated ``time`` seconds."""
+    return {
+        "args": args,
+        "name": name,
+        "ph": "i",
+        "pid": 1,
+        "s": "g",
+        "tid": 0,
+        "ts": round(time * 1e6, 3),
+    }
+
+
+def resilience_trace_events(log: Any) -> List[Dict[str, Any]]:
+    """A :class:`~repro.faults.events.ResilienceLog` as instant events.
+
+    Faults, retries, degradations, crashes and recoveries render as
+    global instant markers ("ph": "i", scope "g"), so fault activity
+    lines up against the GC task lanes on the same timeline.
+    """
+    events: List[Dict[str, Any]] = []
+    if log is None:
+        return events
+    for ev in log.faults:
+        events.append(
+            _instant(
+                ev.time,
+                f"fault:{ev.kind}",
+                {"device": ev.device, "op": ev.op, "detail": ev.detail},
+            )
+        )
+    for ev in log.retries:
+        events.append(
+            _instant(
+                ev.time,
+                "retry",
+                {
+                    "op": ev.op,
+                    "attempts": ev.attempts,
+                    "delay_s": ev.delay,
+                    "success": ev.success,
+                },
+            )
+        )
+    for ev in log.degradations:
+        events.append(
+            _instant(
+                ev.time,
+                "degradation",
+                {"reason": ev.reason, "failures": ev.failures},
+            )
+        )
+    for ev in log.crashes:
+        events.append(
+            _instant(ev.time, f"crash:{ev.safepoint}", {"detail": ev.detail})
+        )
+    for ev in log.recoveries:
+        events.append(
+            _instant(
+                ev.time,
+                "recovery",
+                {
+                    "recovered": ev.recovered,
+                    "quarantined": ev.quarantined,
+                    "detail": ev.detail,
+                },
+            )
+        )
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def chrome_trace_json(
+    engine: Any, label: str = "run", resilience: Any = None
+) -> str:
+    """Serialize an engine's schedule as a Chrome Trace Event document.
+
+    ``resilience`` optionally adds a VM's :class:`ResilienceLog` as
+    instant markers on the same timeline.
+    """
+    events = chrome_trace_events(engine)
+    events.extend(resilience_trace_events(resilience))
     doc = {
         "displayTimeUnit": "ms",
         "otherData": {
@@ -63,7 +145,7 @@ def chrome_trace_json(engine: Any, label: str = "run") -> str:
             "tasks": getattr(engine, "total_tasks", 0),
             "steals": getattr(engine, "total_steals", 0),
         },
-        "traceEvents": chrome_trace_events(engine),
+        "traceEvents": events,
     }
     return json.dumps(doc, sort_keys=True, separators=(",", ":"))
 
@@ -73,8 +155,15 @@ def vm_engine(vm: Any) -> Optional[Any]:
     return getattr(getattr(vm, "collector", None), "engine", None)
 
 
-def write_chrome_trace(path: str, engine: Any, label: str = "run") -> None:
+def vm_resilience_log(vm: Any) -> Optional[Any]:
+    """The resilience log of a VM, if fault injection is armed."""
+    return getattr(getattr(vm, "resilience", None), "log", None)
+
+
+def write_chrome_trace(
+    path: str, engine: Any, label: str = "run", resilience: Any = None
+) -> None:
     """Write the engine's schedule to ``path`` (open with Perfetto or
     ``chrome://tracing``)."""
     with open(path, "w") as f:
-        f.write(chrome_trace_json(engine, label=label))
+        f.write(chrome_trace_json(engine, label=label, resilience=resilience))

@@ -10,13 +10,13 @@ cost — allocation, barriers, GC, S/D, device I/O — is accounted.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from .clock import Bucket, Clock
 from .config import VMConfig
 from .devices.base import AccessPattern, Device
 from .devices.nvme import NVMeSSD
-from .errors import OutOfMemoryError, SegmentationFault
+from .errors import ConfigError, OutOfMemoryError, SegmentationFault
 from .faults import (
     get_default_audit_level,
     get_default_fault_config,
@@ -163,6 +163,9 @@ class JavaVM:
             self.clock, self.cost, allocate_temp=self.allocate_temp
         )
         self.oom = False
+        #: per-label H1 anchors installed by recover_h2(), re-rooting
+        #: rehydrated H2 objects so region liveness survives the crash
+        self.h2_recovery_anchors: Dict[str, HeapObject] = {}
 
         audit_level = (
             config.audit
@@ -363,6 +366,43 @@ class JavaVM:
         """Verify heap invariants after a completed GC cycle (if enabled)."""
         if self.auditor is not None:
             self.auditor.audit(kind, self.collector.mark_epoch)
+
+    # ==================================================================
+    # Crash recovery
+    # ==================================================================
+    def recover_h2(self, image):
+        """Recover a crashed process's durable H2 image into this VM.
+
+        Must be called on a freshly built VM (the crash destroyed all
+        volatile state; this VM *is* the restarted process).  Rebuilds
+        the H2 metadata from the image via
+        :meth:`~repro.teraheap.h2_heap.H2Heap.recover`, then re-primes
+        the root set: one H1 anchor object per recovered label holds
+        references to every rehydrated object of that label, so the
+        next major GC re-establishes region liveness exactly as the
+        workload's own roots would have.  Returns the
+        :class:`~repro.teraheap.recovery.RecoveryReport`.
+        """
+        if self.h2 is None:
+            raise ConfigError("recover_h2() requires TeraHeap enabled")
+        report = self.h2.recover(image)
+        by_label: Dict[str, List[HeapObject]] = {}
+        for index in sorted(report.recovered):
+            region = self.h2.regions[index]
+            for obj in region.objects:
+                by_label.setdefault(region.label or "", []).append(obj)
+        for label in sorted(by_label):
+            members = by_label[label]
+            anchor = self.allocate(
+                max(16, 8 * len(members)), name=f"h2-anchor:{label}"
+            )
+            # Installed directly, not via write_ref: the anchor stands in
+            # for the crashed process's roots, and recovery must not
+            # charge the mutator-store barrier path for it.
+            anchor.refs = list(members)
+            self.roots.add(anchor)
+            self.h2_recovery_anchors[label] = anchor
+        return report
 
     # ==================================================================
     # Reporting

@@ -23,7 +23,7 @@ from typing import Dict, List, Set, Tuple
 
 from ..clock import Clock
 from ..config import VMConfig
-from ..errors import DeviceFullError, SegmentationFault
+from ..errors import DeviceFullError, SegmentationFault, SimulatedCrash
 from ..gc.engine import TaskBag, chunked_sweep
 from ..gc.parallel_scavenge import ParallelScavenge
 from ..heap.heap import ManagedHeap
@@ -32,6 +32,7 @@ from ..heap.roots import RootSet
 from .h2_card_table import CardState
 from .h2_heap import H2Heap
 from .hints import HintInterface
+from .promotion import DIRECT_WRITE_THRESHOLD
 from .thresholds import AdaptiveThresholdPolicy, ThresholdPolicy
 
 
@@ -207,6 +208,11 @@ class TeraHeapCollector(ParallelScavenge):
                     self.h2.scan_store(lo, hi - lo)
                 table.set_state(card, self._classify_card(objects))
         self._minor_scanned = []
+        if self.config.teraheap.writeback_policy == "flush":
+            # Eager durability: mutator stores to H2 become durable at
+            # every minor GC instead of waiting for the next commit.
+            with self.clock.sub_context("h2_writeback"):
+                self.h2._io("h2_msync", self.h2.mapping.msync)
 
     # ==================================================================
     # Major GC hooks
@@ -433,10 +439,83 @@ class TeraHeapCollector(ParallelScavenge):
             return CardState.OLD_GEN if self.four_state else CardState.DIRTY
         return CardState.CLEAN
 
+    def mover_copy_batches(
+        self, movers: List[Tuple[HeapObject, str]]
+    ) -> List[List[Tuple[HeapObject, str]]]:
+        """Split movers into copy batches matching promotion-buffer flushes.
+
+        Movers are grouped per destination region (each region owns one
+        promotion buffer) and chunked so every batch's bytes fit one
+        buffer fill — the batch boundaries land exactly where
+        :class:`~repro.teraheap.promotion.PromotionManager` flushes.
+        Objects at or above the direct-write threshold bypass the buffer
+        and form single-object batches, mirroring the direct-write path.
+        """
+        capacity = self.config.teraheap.promotion_buffer_size
+        by_region: Dict[int, List[Tuple[HeapObject, str]]] = {}
+        order: List[int] = []
+        for obj, label in movers:
+            if obj.region_id not in by_region:
+                order.append(obj.region_id)
+                by_region[obj.region_id] = []
+            by_region[obj.region_id].append((obj, label))
+        batches: List[List[Tuple[HeapObject, str]]] = []
+        for region_index in order:
+            batch: List[Tuple[HeapObject, str]] = []
+            batch_bytes = 0
+            for obj, label in by_region[region_index]:
+                if obj.size >= DIRECT_WRITE_THRESHOLD:
+                    if batch:
+                        batches.append(batch)
+                        batch, batch_bytes = [], 0
+                    batches.append([(obj, label)])
+                    continue
+                if batch and batch_bytes + obj.size > capacity:
+                    batches.append(batch)
+                    batch, batch_bytes = [], 0
+                batch.append((obj, label))
+                batch_bytes += obj.size
+            if batch:
+                batches.append(batch)
+        return batches
+
     def compact_movers(self, movers: List[Tuple[HeapObject, str]]) -> None:
-        for obj, _ in movers:
-            self.h2.write_object(obj)
+        res = self.h2.resilience
+        plan = res.plan if res is not None else None
+        # Mover copy cost is the device write itself (the CPU copy into
+        # the promotion buffer overlaps it), so batches only shape crash
+        # granularity — they add no charge of their own.
+        for seq, batch in enumerate(self.mover_copy_batches(movers)):
+            if plan is not None and plan.crash_outcome("major_compact"):
+                # Killed between copy batches: buffered-but-unflushed
+                # objects and all DRAM metadata die with the process.
+                log = self.h2.page_cache.resilience_log
+                if log is not None:
+                    log.record_crash(
+                        self.clock.now,
+                        "major_compact",
+                        f"batch {seq} of {len(batch)} objects",
+                    )
+                raise SimulatedCrash(
+                    "simulated kill mid major-GC compaction "
+                    f"(copy batch {seq})",
+                    safepoint="major_compact",
+                    op_index=plan.op_index,
+                )
+            for obj, _ in batch:
+                self.h2.write_object(obj)
         self.h2.finish_compaction()
         if self._moved_labels:
             self.hints.consume_moved(self._moved_labels)
             self._moved_labels = set()
+
+    def on_major_complete(self, epoch: int) -> None:
+        """Commit the durable epoch at the end of every major GC."""
+        if self.config.teraheap.writeback_policy == "none":
+            return
+        with self.clock.sub_context("h2_commit"):
+            self.h2.commit_epoch(
+                epoch,
+                note=self.h2.checkpoint_note,
+                fsync_cost=self.cost.fsync_cost,
+            )

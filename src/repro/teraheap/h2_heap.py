@@ -15,12 +15,19 @@ from typing import Dict, List, Optional, Set
 from ..clock import Clock
 from ..config import TeraHeapConfig
 from ..devices.base import AccessPattern, Device
+from ..devices.durability import DurableImage
 from ..devices.mmap import MappedFile
 from ..devices.page_cache import PageCache
-from ..errors import DeviceFullError, OutOfMemoryError
+from ..errors import (
+    DeviceFullError,
+    OutOfMemoryError,
+    SimulatedCrash,
+    UnrecoverableCrash,
+)
 from ..heap.object_model import HeapObject
-from .h2_card_table import H2CardTable
+from .h2_card_table import CardState, H2CardTable
 from .promotion import PromotionManager
+from .recovery import RecoveryReport, RegionJournalEntry, header_page
 from .region_groups import RegionGroups
 from .regions import PER_REGION_METADATA_BYTES, Region, RegionLiveness
 
@@ -47,7 +54,13 @@ class H2Heap:
             device = resilience.wrap_device(device)
         self.device = device
         self.clock = clock
-        self.page_cache = PageCache(device, page_cache_size)
+        self.page_cache = PageCache(
+            device,
+            page_cache_size,
+            fault_plan=resilience.plan if resilience is not None else None,
+        )
+        if resilience is not None:
+            self.page_cache.resilience_log = resilience.log
         self.mapping = MappedFile(
             device,
             H2_BASE,
@@ -86,6 +99,15 @@ class H2Heap:
         self.regions_allocated_total = 0
         self.objects_moved = 0
         self.bytes_moved = 0
+        #: region indices quarantined by crash recovery (torn data,
+        #: stale-epoch headers) mapped to the reason; never reallocated
+        self.quarantined: Dict[int, str] = {}
+        #: application checkpoint note persisted with the next commit
+        self.checkpoint_note: str = ""
+        #: completed commit epochs (msync + journal + superblock)
+        self.commits = 0
+        #: the report of the recovery that built this heap, if any
+        self.recovery_report: Optional[RecoveryReport] = None
 
     # ------------------------------------------------------------------
     # Region management
@@ -189,6 +211,253 @@ class H2Heap:
 
     def finish_compaction(self) -> None:
         self._io("h2_flush", self.promotion.flush_all)
+
+    # ------------------------------------------------------------------
+    # Crash consistency: commit protocol and recovery
+    # ------------------------------------------------------------------
+    def _journal_deps(self, region: Region) -> tuple:
+        """The dependency edges a region's header journal persists.
+
+        Under the "groups" policy the union-find structure carries the
+        cross-region information, so the journal records the region's
+        group co-members instead; recovery re-unions them.
+        """
+        if self.region_groups is not None:
+            root = self.region_groups.find(region.index)
+            return tuple(
+                sorted(
+                    other.index
+                    for other in self.active_regions()
+                    if other.index != region.index
+                    and self.region_groups.find(other.index) == root
+                )
+            )
+        return tuple(sorted(region.deps))
+
+    def commit_epoch(
+        self, epoch: int, note: str = "", fsync_cost: float = 0.0
+    ) -> None:
+        """Make the current H2 state durable: msync, journal, superblock.
+
+        The three-step protocol gives every crash a well-defined durable
+        image: (1) ``msync`` flushes dirty data pages (safepoint
+        "msync"); (2) one header journal entry per active region is
+        staged and the header pages written as a batch (safepoint
+        "region_metadata_update" — a torn header keeps its previous
+        shadow entry); (3) the superblock write is the atomic commit
+        point (safepoint "epoch_commit" — a kill here either tears the
+        in-flight slot, falling back to the previous commit, or lands
+        the record just before the process dies).  The fsync barrier
+        cost is charged to the clock at the end.
+        """
+        image = self.page_cache.durable_image
+        self._io("h2_msync", self.mapping.msync)
+        pages: List[int] = []
+        manifest: List[int] = []
+        for index in sorted(self.regions):
+            region = self.regions[index]
+            if region.is_empty:
+                continue
+            entry = RegionJournalEntry(
+                region_index=index,
+                epoch=epoch,
+                label=region.label or "",
+                used_bytes=region.used,
+                live=region.live,
+                deps=self._journal_deps(region),
+                objects=tuple(
+                    (obj.address - region.start, obj.size)
+                    for obj in region.objects
+                ),
+            )
+            page = header_page(index)
+            image.stage_journal(page, index, entry)
+            pages.append(page)
+            manifest.append(index)
+        if pages:
+            self._io(
+                "h2_region_metadata",
+                lambda: self.page_cache.write_metadata(
+                    pages, safepoint="region_metadata_update"
+                ),
+            )
+        plan = self.resilience.plan if self.resilience is not None else None
+        if plan is not None:
+            cut = plan.crash_batch_cut("epoch_commit", 1)
+            if cut is not None:
+                # The superblock write was in flight when the kill hit:
+                # it either tore (previous commit survives) or landed
+                # entirely just before the process died.
+                self.device.write(
+                    self.page_cache.page_size, AccessPattern.RANDOM
+                )
+                if cut == 0:
+                    image.tear_superblock()
+                    image.drop_staged()
+                else:
+                    image.commit_superblock(epoch, manifest, note)
+                log = self.page_cache.resilience_log
+                if log is not None:
+                    log.record_crash(
+                        self.clock.now,
+                        "epoch_commit",
+                        f"epoch={epoch} cut={cut}/1",
+                    )
+                raise SimulatedCrash(
+                    f"simulated kill committing epoch {epoch}",
+                    safepoint="epoch_commit",
+                    op_index=plan.op_index,
+                )
+        self._io(
+            "h2_superblock",
+            lambda: self.device.write(
+                self.page_cache.page_size, AccessPattern.RANDOM
+            ),
+        )
+        image.commit_superblock(epoch, manifest, note)
+        if fsync_cost:
+            self.clock.charge(fsync_cost)
+        image.note_sync()
+        self.commits += 1
+
+    def recover(self, image: DurableImage) -> RecoveryReport:
+        """Rebuild H2 metadata from a crashed process's durable image.
+
+        Must be called on a freshly constructed (empty) H2 heap.  The
+        scan reads the superblock, then every manifest region's header
+        journal entry, quarantining regions whose header epoch does not
+        match the committed epoch ("stale-epoch"), whose committed data
+        extent is torn or unwritten ("torn-data"), or whose object
+        records do not tile the extent ("journal-inconsistent").
+        Surviving regions are rebuilt — region array entry, rehydrated
+        objects, dependency list, conservatively dirtied card segments —
+        and their bytes rescanned through the page cache (charging the
+        device reads recovery really pays).  An image with no readable
+        superblock, or a manifest region with no readable header at all,
+        raises :class:`UnrecoverableCrash` with a diff-style report.
+        """
+        if self.regions:
+            raise ValueError("recover() requires a fresh H2 heap")
+        self._io(
+            "h2_recovery",
+            lambda: self.device.read(
+                self.page_cache.page_size, AccessPattern.RANDOM
+            ),
+        )
+        if image.superblock is None:
+            raise UnrecoverableCrash(
+                "durable image unrecoverable:\n"
+                "- superblock: expected a readable commit record, "
+                "found every slot torn",
+                problems=["superblock unreadable"],
+            )
+        report = RecoveryReport(
+            committed_epoch=image.committed_epoch,
+            checkpoint_note=image.checkpoint_note,
+        )
+        # Adopt the image: this heap's future writes continue it.
+        image.page_size = self.page_cache.page_size
+        self.page_cache.durable_image = image
+        problems: List[str] = []
+        region_size = self.config.region_size
+        for index in image.manifest:
+            slots = image.journal_entries(index)
+            if not slots:
+                problems.append(
+                    f"- region {index}: manifest names it but no readable "
+                    "header journal entry survives"
+                )
+                continue
+            self._io(
+                "h2_recovery",
+                lambda: self.device.read(
+                    self.page_cache.page_size, AccessPattern.RANDOM
+                ),
+            )
+            entry = image.journal_entry(index, image.committed_epoch)
+            if entry is None:
+                epochs = sorted(
+                    {getattr(e, "epoch", None) for e in slots}
+                )
+                self.quarantined[index] = (
+                    f"stale-epoch: header slots hold epoch(s) {epochs} "
+                    f"!= committed {image.committed_epoch}"
+                )
+                continue
+            start = H2_BASE + index * region_size
+            span = self.mapping.pages_for(start, max(entry.used_bytes, 1))
+            torn = image.torn_in(span)
+            missing = image.missing_in(span)
+            if torn or missing:
+                detail = []
+                if torn:
+                    detail.append(f"torn pages {sorted(torn)}")
+                if missing:
+                    detail.append(f"unwritten pages {sorted(missing)}")
+                self.quarantined[index] = "torn-data: " + ", ".join(detail)
+                continue
+            offset = 0
+            consistent = True
+            for off, size in entry.objects:
+                if off != offset or size <= 0:
+                    consistent = False
+                    break
+                offset = off + size
+            if (
+                not consistent
+                or offset != entry.used_bytes
+                or entry.used_bytes > region_size
+            ):
+                self.quarantined[index] = (
+                    "journal-inconsistent: object records do not tile "
+                    f"[0, {entry.used_bytes})"
+                )
+                continue
+            region = Region(index, start, region_size)
+            region.label = entry.label
+            region.live = entry.live
+            region.allocated_epoch = 0
+            self.regions[index] = region
+            for _, size in entry.objects:
+                obj = HeapObject(size, name=f"recovered:{entry.label}")
+                region.allocate(obj)
+                obj.label = entry.label
+            region.deps = set(entry.deps)
+            if self.region_groups is not None:
+                for dep in entry.deps:
+                    self.region_groups.union(index, dep)
+            # Rescan the surviving bytes through the page cache.
+            self._io(
+                "h2_recovery_scan",
+                lambda s=start, n=entry.used_bytes: self.mapping.load(s, n),
+            )
+            # Conservative card state: references inside rehydrated
+            # objects are unknown, so every covered segment must rescan.
+            first = self.card_table.card_index(start)
+            last = self.card_table.card_index(start + entry.used_bytes - 1)
+            for card in range(first, last + 1):
+                self.card_table.set_state(card, CardState.DIRTY)
+            report.recovered[index] = entry.label
+            report.objects_recovered += entry.object_count
+            report.bytes_recovered += entry.used_bytes
+        if problems:
+            raise UnrecoverableCrash(
+                "durable image unrecoverable:\n" + "\n".join(problems),
+                problems=problems,
+            )
+        report.quarantined = dict(self.quarantined)
+        known = set(report.recovered) | set(self.quarantined)
+        self._next_fresh = max(known, default=-1) + 1
+        self.checkpoint_note = image.checkpoint_note
+        self.recovery_report = report
+        if self.resilience is not None:
+            self.resilience.log.record_recovery(
+                self.clock.now,
+                report.regions_recovered,
+                report.regions_quarantined,
+                detail=f"epoch={report.committed_epoch}",
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Cross-region references (Section 3.3)

@@ -95,7 +95,7 @@ class PromotionManager:
         span = self._span(buffer)
         if span is not None:
             # One batched sequential write covering the staged objects.
-            self.mapping.write_explicit(*span)
+            self.mapping.write_explicit(*span, safepoint="promotion_flush")
             self._commit(buffer)
 
     def flush_all(self) -> None:
@@ -112,7 +112,7 @@ class PromotionManager:
                 spans.append(span)
                 pending.append(buffer)
         if spans:
-            self.mapping.write_explicit_many(spans)
+            self.mapping.write_explicit_many(spans, safepoint="h2_flush")
         for buffer in pending:
             self._commit(buffer)
         self._buffers.clear()

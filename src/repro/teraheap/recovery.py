@@ -1,0 +1,103 @@
+"""Region-header journal and crash-recovery report for H2.
+
+TeraHeap keeps all H2 metadata in DRAM (Figure 2), so a crash leaves the
+device holding object *bytes* with no map.  To make the image
+recoverable, each region persists a small header journal — the durable
+twin of its DRAM metadata entry:
+
+- the commit **epoch** the header belongs to (a header whose epoch does
+  not match the superblock's committed epoch belongs to a commit that
+  never finished → the region is quarantined as stale);
+- the **label** and allocation extent (``used_bytes``), which bound the
+  pages a recovery scan must find durable;
+- the **live** summary bit and the outgoing **dependency list**, so
+  region-granularity liveness survives without re-deriving references;
+- per-object ``(offset, size)`` records, enough to rebuild the region's
+  object array by replaying append-only allocation.
+
+Headers occupy synthetic metadata pages (negative page numbers,
+``-(region_index + 1)``), disjoint from the data page space, and are
+shadow-written: a torn header write loses only the in-flight update.
+The superblock (committed epoch + region manifest + checkpoint note)
+names which headers recovery must find; a manifest region with *no*
+readable header at all is unrecoverable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+def header_page(region_index: int) -> int:
+    """The synthetic metadata page holding a region's header journal."""
+    return -(region_index + 1)
+
+
+#: the metadata page holding the superblock
+SUPERBLOCK_PAGE = -(1 << 30)
+
+
+@dataclass(frozen=True)
+class RegionJournalEntry:
+    """One region's durable header: the on-device twin of its metadata."""
+
+    region_index: int
+    epoch: int
+    label: str
+    used_bytes: int
+    live: bool
+    deps: Tuple[int, ...]
+    #: (offset, size) per object, in allocation order
+    objects: Tuple[Tuple[int, int], ...]
+
+    @property
+    def object_count(self) -> int:
+        return len(self.objects)
+
+    def line(self) -> str:
+        """Canonical one-line form (durable-image digests, reports)."""
+        deps = ",".join(str(d) for d in sorted(self.deps))
+        objs = ";".join(f"{off}+{size}" for off, size in self.objects)
+        return (
+            f"region={self.region_index}\tepoch={self.epoch}"
+            f"\tlabel={self.label}\tused={self.used_bytes}"
+            f"\tlive={int(self.live)}\tdeps=[{deps}]\tobjects=[{objs}]"
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery scan rebuilt, skipped, and quarantined."""
+
+    committed_epoch: int = 0
+    checkpoint_note: str = ""
+    #: region index -> recovered label
+    recovered: Dict[int, str] = field(default_factory=dict)
+    #: region index -> quarantine reason ("torn-data", "stale-epoch",
+    #: "journal-inconsistent")
+    quarantined: Dict[int, str] = field(default_factory=dict)
+    objects_recovered: int = 0
+    bytes_recovered: int = 0
+
+    @property
+    def regions_recovered(self) -> int:
+        return len(self.recovered)
+
+    @property
+    def regions_quarantined(self) -> int:
+        return len(self.quarantined)
+
+    def digest(self) -> str:
+        """Canonical text form, for byte-identity determinism checks."""
+        lines = [
+            f"committed_epoch\t{self.committed_epoch}",
+            f"checkpoint_note\t{self.checkpoint_note}",
+            f"objects_recovered\t{self.objects_recovered}",
+            f"bytes_recovered\t{self.bytes_recovered}",
+        ]
+        for index in sorted(self.recovered):
+            lines.append(f"recovered\t{index}\t{self.recovered[index]}")
+        for index in sorted(self.quarantined):
+            lines.append(f"quarantined\t{index}\t{self.quarantined[index]}")
+        return "\n".join(lines)
