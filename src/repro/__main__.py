@@ -179,12 +179,11 @@ def main(argv=None) -> int:
             )
         )
     elif args.experiment == "gcscale":
-        print(
-            gc_scaling.format_scaling(
-                gc_scaling.run_scaling(
-                    batches=max(1, int(60 * args.scale))
-                )
-            )
+        # The module's own CLI prints the full report: both steal
+        # policies, the TeraHeap scan-cap series, and the adaptive
+        # batch-sizing comparison.
+        status = gc_scaling.main(
+            ["--batches", str(max(1, int(60 * args.scale)))]
         )
     elif args.experiment == "chaoskill":
         chaos_args = ["--check"]

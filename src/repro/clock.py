@@ -43,19 +43,32 @@ class LaneSet:
     transfer) and *overhead* (dispatch/termination protocol) seconds.
     Idle time is not advanced explicitly: a lane is idle for whatever gap
     remains between its own time and the critical path.
+
+    Lanes carry a NUMA node id: the pool is block-partitioned over
+    ``nodes`` (lane ``i`` lives on node ``i * nodes // lanes``), so a
+    scheduler can tell same-node from cross-node steals and charge the
+    remote-access premium accordingly.
     """
 
-    __slots__ = ("num_lanes", "busy", "steal", "overhead")
+    __slots__ = ("num_lanes", "busy", "steal", "overhead", "node")
 
     KINDS = ("busy", "steal", "overhead")
 
-    def __init__(self, lanes: int):
+    def __init__(self, lanes: int, nodes: int = 1):
         if lanes < 1:
             raise ValueError(f"a parallel region needs >=1 lane, got {lanes}")
+        if nodes < 1:
+            raise ValueError(f"a lane set needs >=1 NUMA node, got {nodes}")
+        nodes = min(nodes, lanes)
         self.num_lanes = lanes
         self.busy = [0.0] * lanes
         self.steal = [0.0] * lanes
         self.overhead = [0.0] * lanes
+        self.node = [i * nodes // lanes for i in range(lanes)]
+
+    def node_of(self, lane: int) -> int:
+        """NUMA node that ``lane`` is pinned to."""
+        return self.node[lane]
 
     def advance(self, lane: int, seconds: float, kind: str = "busy") -> None:
         """Move ``lane``'s local time forward by ``seconds``."""
@@ -136,18 +149,20 @@ class Clock:
             self._sub_context.pop()
 
     @contextmanager
-    def parallel(self, lanes: int) -> Iterator[LaneSet]:
+    def parallel(self, lanes: int, nodes: int = 1) -> Iterator[LaneSet]:
         """Open a multi-lane parallel region with ``lanes`` worker lanes.
 
-        Lanes advance independently inside the block; on exit the clock
-        is charged the critical path (max over lanes) in the current
-        bucket/sub-bucket context.
+        Lanes advance independently inside the block; on clean exit the
+        clock is charged the critical path (max over lanes) in the
+        current bucket/sub-bucket context.  A region aborted by an
+        exception (e.g. a :class:`~repro.errors.SimulatedCrash` fired
+        mid-phase) charges nothing: the phase never completed, and
+        counting partially-executed lane time would skew the pre-crash
+        clock that crash-recovery reconciliation compares against.
         """
-        lane_set = LaneSet(lanes)
-        try:
-            yield lane_set
-        finally:
-            self.charge(lane_set.critical_path)
+        lane_set = LaneSet(lanes, nodes)
+        yield lane_set
+        self.charge(lane_set.critical_path)
 
     # ------------------------------------------------------------------
     # Charging

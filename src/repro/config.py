@@ -60,6 +60,13 @@ class CostModel:
     gc_task_dispatch_cost: float = 0.5e-6
     #: one successful steal: CAS on the victim's deque top + cache misses
     gc_steal_cost: float = 4e-6
+    #: moving one *additional* task in a steal-half grab (the first task
+    #: is covered by gc_steal_cost; bulk transfer amortises the CAS but
+    #: still touches one deque slot per task)
+    gc_steal_transfer_cost: float = 1e-6
+    #: extra latency of a steal whose victim lane lives on another NUMA
+    #: node (remote cache-line transfer across the interconnect)
+    gc_numa_remote_premium: float = 6e-6
     #: per-worker share of the termination protocol ending a parallel
     #: phase (offer/spin rounds); single-worker phases skip it
     gc_termination_cost: float = 30e-6
@@ -165,13 +172,35 @@ class GCEngineConfig:
     Batch sizes control task granularity: smaller batches balance better
     across workers but pay more dispatch/steal overhead.  They are fixed
     (not derived from the thread count) so a thread-scaling sweep runs
-    the identical task decomposition at every point.
+    the identical task decomposition at every point — unless
+    ``adaptive_batching`` turns on the per-cycle feedback controller
+    (:class:`~repro.gc.engine.adaptive.BatchController`).
     """
 
     #: work-stealing RNG seed (victim selection); never the global RNG
     seed: int = 0x7E2A6C
     #: record per-task events for the chrome://tracing exporter
     trace: bool = False
+    #: "steal-one" takes one task off the victim's deque per steal;
+    #: "steal-half" transfers half the victim's deque (the real Parallel
+    #: Scavenge policy), paying gc_steal_transfer_cost per extra task
+    steal_policy: str = "steal-one"
+    #: simulated NUMA nodes the worker pool is block-partitioned over;
+    #: steals across nodes pay gc_numa_remote_premium and victim
+    #: selection prefers same-node deques
+    numa_nodes: int = 1
+    #: shrink scan/copy batches when a cycle's imbalance exceeds
+    #: imbalance_shrink_threshold; grow them back when dispatch overhead
+    #: dominates (overhead_grow_threshold)
+    adaptive_batching: bool = False
+    #: cycle imbalance (critical path / mean active lane time) above
+    #: which the controller halves the batch scale
+    imbalance_shrink_threshold: float = 1.3
+    #: dispatch-overhead share of scheduled work above which the
+    #: controller doubles the batch scale back toward 1.0
+    overhead_grow_threshold: float = 0.15
+    #: floor of the controller's multiplicative batch scale
+    min_batch_scale: float = 0.25
     #: objects per marking/scan batch task
     scan_batch_objects: int = 24
     #: objects per copy/compaction batch task (a promotion-buffer fill)
@@ -198,6 +227,19 @@ class GCEngineConfig:
                 raise ConfigError(f"{name} must be >= 1")
         if not isinstance(self.seed, int):
             raise ConfigError("engine seed must be an integer")
+        if self.steal_policy not in ("steal-one", "steal-half"):
+            raise ConfigError(
+                f"unknown steal policy {self.steal_policy!r}; expected "
+                "'steal-one' or 'steal-half'"
+            )
+        if self.numa_nodes < 1:
+            raise ConfigError("numa_nodes must be >= 1")
+        if not 0.0 < self.min_batch_scale <= 1.0:
+            raise ConfigError("min_batch_scale must be in (0, 1]")
+        if self.imbalance_shrink_threshold <= 1.0:
+            raise ConfigError("imbalance_shrink_threshold must be > 1.0")
+        if not 0.0 < self.overhead_grow_threshold < 1.0:
+            raise ConfigError("overhead_grow_threshold must be in (0, 1)")
 
 
 @dataclass

@@ -10,26 +10,44 @@ so this sweep is the direct check that parallel GC behaves: speedup must
 grow with threads but stay sub-linear (termination protocol, steal
 overhead, and chunky tasks all tax wide pools).
 
+Three companion series exercise the adaptive scheduler:
+
+- **steal policies** — the sweep runs under both ``steal-one`` and
+  ``steal-half``; schedules diverge (different steal counts) while the
+  total task cost stays identical, since policies only move work around.
+- **TeraHeap scan cap** — a TeraHeap churn run whose H2 card-table has
+  few stripes, so stripe ownership bounds H2 scan parallelism: the scan
+  speedup plateaus at ``scan_parallelism`` while plain PS keeps scaling.
+- **adaptive batching** — static vs feedback-controlled batch sizes at
+  wide worker counts; the controller shrinks batches when imbalance
+  spikes and the reported cycle imbalance drops.
+
 The workload contains no randomness (the only RNG in the stack is the
 engine's seeded victim selection), so a point's report is byte-identical
 across runs; ``--check-baseline`` exploits that to fail CI when the
-1-thread pause regresses more than 10% against the checked-in baseline.
+1-thread pause regresses more than 10% against the checked-in baseline,
+and ``--check-determinism`` re-runs the steal-half and adaptive series
+and fails on any digest mismatch.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..config import GCEngineConfig, VMConfig
+from ..config import GCEngineConfig, TeraHeapConfig, VMConfig
 from ..runtime import JavaVM
 from ..units import KiB, gb
 
 #: gc_threads values of the sweep (the paper's testbed has 16 h/w threads)
 SWEEP_THREADS = (1, 2, 4, 8, 16)
+
+#: steal policies compared head-to-head
+STEAL_POLICIES = ("steal-one", "steal-half")
 
 #: churn-workload shape (objects are 8 KiB simulated chunks)
 OBJECT_SIZE = 8 * KiB
@@ -43,6 +61,19 @@ RESIDENT_CAP = 60
 
 #: allowed relative regression of the 1-thread pause vs the baseline
 BASELINE_TOLERANCE = 0.10
+
+#: TeraHeap scan-cap series: H2 sized to this many stripes (= regions),
+#: so scan_parallelism caps H2 card scanning below wide thread counts
+TH_STRIPES = 4
+TH_REGION_SIZE = 256 * KiB
+TH_PHASES = 10
+TH_MEMBERS = 10
+
+#: thread counts of the adaptive-batching comparison (wide pools)
+ADAPTIVE_THREADS = (8, 16)
+#: experiment-local shrink threshold: low enough that the 8-worker
+#: config (imbalance ~1.1 static) adapts too, not just the 16-worker one
+ADAPTIVE_SHRINK_THRESHOLD = 1.08
 
 
 @dataclass
@@ -59,8 +90,11 @@ class ScalingPoint:
     parallel_s: float
     tasks: int
     steals: int
+    remote_steals: int
     idle_s: float
     imbalance: float
+    steal_policy: str = "steal-one"
+    batch_final_scale: float = 1.0
     worker_steals: List[int] = field(default_factory=list)
     worker_idle_s: List[float] = field(default_factory=list)
     #: total-pause speedup vs the 1-thread point (filled by run_scaling)
@@ -81,6 +115,7 @@ class ScalingPoint:
     def to_dict(self) -> Dict[str, object]:
         return {
             "gc_threads": self.gc_threads,
+            "steal_policy": self.steal_policy,
             "minor_count": self.minor_count,
             "major_count": self.major_count,
             "total_pause_s": round(self.total_pause_s, 9),
@@ -89,8 +124,10 @@ class ScalingPoint:
             "parallel_s": round(self.parallel_s, 9),
             "tasks": self.tasks,
             "steals": self.steals,
+            "remote_steals": self.remote_steals,
             "idle_s": round(self.idle_s, 9),
             "imbalance": round(self.imbalance, 6),
+            "batch_final_scale": round(self.batch_final_scale, 6),
             "worker_steals": self.worker_steals,
             "worker_idle_s": [round(v, 9) for v in self.worker_idle_s],
             "pause_speedup": round(self.pause_speedup, 6),
@@ -98,8 +135,34 @@ class ScalingPoint:
         }
 
 
+def churn_engine_config(
+    trace: bool = False,
+    steal_policy: str = "steal-one",
+    adaptive: bool = False,
+    numa_nodes: int = 1,
+) -> GCEngineConfig:
+    """Engine config of the churn sweep: finer-grained than the defaults
+    so 16 lanes have enough tasks to fill."""
+    return GCEngineConfig(
+        trace=trace,
+        scan_batch_objects=8,
+        copy_batch_objects=6,
+        precompact_batch_objects=24,
+        card_chunk_cards=512,
+        steal_policy=steal_policy,
+        adaptive_batching=adaptive,
+        imbalance_shrink_threshold=ADAPTIVE_SHRINK_THRESHOLD,
+        numa_nodes=numa_nodes,
+    )
+
+
 def run_churn(
-    gc_threads: int, batches: int = 60, trace: bool = False
+    gc_threads: int,
+    batches: int = 60,
+    trace: bool = False,
+    steal_policy: str = "steal-one",
+    adaptive: bool = False,
+    numa_nodes: int = 1,
 ) -> JavaVM:
     """Run the deterministic churn workload on a fresh VM.
 
@@ -115,14 +178,11 @@ def run_churn(
         # the sweep exercises the engine in every phase.
         collector="ps11",
         gc_threads=gc_threads,
-        # Finer-grained tasks than the defaults: the sweep's point is
-        # scheduling behaviour, so give 16 lanes enough tasks to fill.
-        engine=GCEngineConfig(
+        engine=churn_engine_config(
             trace=trace,
-            scan_batch_objects=8,
-            copy_batch_objects=6,
-            precompact_batch_objects=24,
-            card_chunk_cards=512,
+            steal_policy=steal_policy,
+            adaptive=adaptive,
+            numa_nodes=numa_nodes,
         ),
     )
     vm = JavaVM(config)
@@ -156,7 +216,7 @@ def run_churn(
     return vm
 
 
-def measure(vm: JavaVM) -> ScalingPoint:
+def measure(vm: JavaVM, steal_policy: str = "steal-one") -> ScalingPoint:
     """Fold a finished run's GC stats into one ScalingPoint."""
     stats = vm.collector.stats
     workers = vm.config.gc_threads
@@ -167,6 +227,7 @@ def measure(vm: JavaVM) -> ScalingPoint:
             worker_steals[idx] += count
         for idx, sec in enumerate(cycle.worker_idle[:workers]):
             worker_idle[idx] += sec
+    controller = stats.batch_controller_summary()
     return ScalingPoint(
         gc_threads=workers,
         minor_count=stats.minor_count,
@@ -177,19 +238,29 @@ def measure(vm: JavaVM) -> ScalingPoint:
         parallel_s=sum(c.parallel_seconds for c in stats.cycles),
         tasks=stats.total_tasks(),
         steals=stats.total_steals(),
+        remote_steals=stats.total_remote_steals(),
         idle_s=stats.total_idle(),
         imbalance=stats.mean_imbalance(),
+        steal_policy=steal_policy,
+        batch_final_scale=controller["final_scale"],
         worker_steals=worker_steals,
         worker_idle_s=worker_idle,
     )
 
 
 def run_scaling(
-    threads: Sequence[int] = SWEEP_THREADS, batches: int = 60
+    threads: Sequence[int] = SWEEP_THREADS,
+    batches: int = 60,
+    steal_policy: str = "steal-one",
+    adaptive: bool = False,
 ) -> List[ScalingPoint]:
     """The sweep: one churn run per gc_threads value."""
-    points = [run_churn(t, batches=batches) for t in threads]
-    measured = [measure(vm) for vm in points]
+    points = [
+        run_churn(t, batches=batches, steal_policy=steal_policy,
+                  adaptive=adaptive)
+        for t in threads
+    ]
+    measured = [measure(vm, steal_policy) for vm in points]
     base = next((p for p in measured if p.gc_threads == 1), measured[0])
     for p in measured:
         if p.total_pause_s > 0.0:
@@ -216,41 +287,330 @@ def format_scaling(points: List[ScalingPoint]) -> str:
     return "\n".join(lines)
 
 
+def format_policy_divergence(
+    by_policy: Dict[str, List[ScalingPoint]]
+) -> str:
+    """Side-by-side steal counts per thread count: schedules diverge,
+    total task cost does not."""
+    lines = [
+        "thr  steals(one) steals(half)  serial(one)  serial(half)"
+        "  pause(one)  pause(half)"
+    ]
+    one = {p.gc_threads: p for p in by_policy.get("steal-one", [])}
+    half = {p.gc_threads: p for p in by_policy.get("steal-half", [])}
+    for t in sorted(set(one) & set(half)):
+        a, b = one[t], half[t]
+        lines.append(
+            f"{t:3d}  {a.steals:11d} {b.steals:12d}  {a.serial_s:11.4f}"
+            f"  {b.serial_s:12.4f}  {a.total_pause_s:10.4f}"
+            f"  {b.total_pause_s:11.4f}"
+        )
+    return "\n".join(lines)
+
+
+# ======================================================================
+# TeraHeap scan-cap series (stripe ownership bounds scan parallelism)
+# ======================================================================
+@dataclass
+class TeraHeapScanPoint:
+    """H2 card-scan scheduling at one ``gc_threads`` value."""
+
+    gc_threads: int
+    #: stripe-bounded workers the scan phases actually ran on
+    scan_workers: int
+    scan_tasks: int
+    scan_serial_s: float
+    scan_parallel_s: float
+    #: engine speedup of the non-H2 (plain PS) phases of the same run
+    ps_speedup: float
+
+    @property
+    def scan_speedup(self) -> float:
+        if self.scan_parallel_s <= 0.0:
+            return 1.0
+        return self.scan_serial_s / self.scan_parallel_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "gc_threads": self.gc_threads,
+            "scan_workers": self.scan_workers,
+            "scan_tasks": self.scan_tasks,
+            "scan_serial_s": round(self.scan_serial_s, 9),
+            "scan_parallel_s": round(self.scan_parallel_s, 9),
+            "scan_speedup": round(self.scan_speedup, 6),
+            "ps_speedup": round(self.ps_speedup, 6),
+        }
+
+
+def run_teraheap_churn(gc_threads: int, phases: int = TH_PHASES) -> JavaVM:
+    """A TeraHeap workload generating H2 backward-reference scan work.
+
+    Each phase moves a labelled object group to H2, then writes young
+    references into the previous groups' device-resident members —
+    dirtying H2 cards across every live stripe — and runs a minor plus a
+    major GC.  The H2 heap has only ``TH_STRIPES`` stripes, so
+    ``scan_parallelism`` caps the card-scan phases there no matter how
+    many GC threads the VM has.
+    """
+    config = VMConfig(
+        heap_size=gb(8),
+        collector="ps11",
+        gc_threads=gc_threads,
+        engine=churn_engine_config(),
+        teraheap=TeraHeapConfig(
+            enabled=True,
+            h2_size=TH_STRIPES * TH_REGION_SIZE,
+            region_size=TH_REGION_SIZE,
+        ),
+        page_cache_size=gb(8),
+    )
+    vm = JavaVM(config)
+    table = vm.roots.add(vm.allocate(16 * KiB, name="th-table"))
+    groups: List[List] = []
+    for i in range(phases):
+        label = f"g{i}"
+        if len(groups) >= TH_STRIPES - 1:
+            # FIFO-drop the oldest group so H2 regions recycle.
+            for obj in groups.pop(0):
+                vm.write_ref(table, None, remove=obj)
+        key = vm.allocate(4 * KiB, name=f"key-{label}")
+        vm.write_ref(table, key)
+        members = [key]
+        for j in range(TH_MEMBERS):
+            member = vm.allocate(OBJECT_SIZE, name=f"{label}-m{j}")
+            vm.write_ref(key, member)
+            members.append(member)
+        vm.h2_tag_root(key, label)
+        vm.h2_move(label)
+        groups.append([key])
+        vm.major_gc()  # transfers the group to H2
+        # Backward references: every H2-resident member of the live
+        # groups gains a young target, dirtying its card so the next
+        # scavenge scans slices across all live stripes.
+        for group in groups:
+            anchor = group[0]
+            if not anchor.in_h2:
+                continue
+            for member in [anchor] + list(anchor.refs):
+                if member.in_h2:
+                    young = vm.allocate(
+                        OBJECT_SIZE, name=f"back-{i}-{member.oid}"
+                    )
+                    vm.write_ref(member, young)
+        vm.minor_gc()
+        del members
+    return vm
+
+
+def teraheap_scan_points(
+    threads: Sequence[int] = SWEEP_THREADS, phases: int = TH_PHASES
+) -> List[TeraHeapScanPoint]:
+    """The TeraHeap series: H2 scan scheduling per gc_threads value."""
+    points: List[TeraHeapScanPoint] = []
+    for t in threads:
+        vm = run_teraheap_churn(t, phases=phases)
+        scan_workers = 0
+        scan_tasks = 0
+        scan_serial = 0.0
+        scan_parallel = 0.0
+        ps_serial = 0.0
+        ps_parallel = 0.0
+        for cycle in vm.collector.stats.cycles:
+            for rec in cycle.engine_phases:
+                if rec["phase"].startswith("h2-") and rec["phase"].endswith(
+                    "-scan"
+                ):
+                    scan_workers = max(scan_workers, rec["workers"])
+                    scan_tasks += rec["tasks"]
+                    scan_serial += rec["serial_s"]
+                    scan_parallel += rec["critical_s"]
+                elif rec["phase"].startswith("minor-"):
+                    ps_serial += rec["serial_s"]
+                    ps_parallel += rec["critical_s"]
+        points.append(
+            TeraHeapScanPoint(
+                gc_threads=t,
+                scan_workers=scan_workers,
+                scan_tasks=scan_tasks,
+                scan_serial_s=scan_serial,
+                scan_parallel_s=scan_parallel,
+                ps_speedup=(
+                    ps_serial / ps_parallel if ps_parallel > 0.0 else 1.0
+                ),
+            )
+        )
+    return points
+
+
+def format_teraheap_points(points: List[TeraHeapScanPoint]) -> str:
+    lines = [
+        f"H2 stripes={TH_STRIPES} (scan_parallelism cap)",
+        "thr  scan_workers  scan_tasks  scan_speedup  ps_speedup",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.gc_threads:3d}  {p.scan_workers:12d}  {p.scan_tasks:10d}"
+            f"  {p.scan_speedup:12.2f}  {p.ps_speedup:10.2f}"
+        )
+    return "\n".join(lines)
+
+
+# ======================================================================
+# Adaptive batch sizing (static vs feedback-controlled)
+# ======================================================================
+@dataclass
+class AdaptivePoint:
+    """Static vs adaptive batching at one wide worker count."""
+
+    gc_threads: int
+    static_imbalance: float
+    adaptive_imbalance: float
+    static_pause_s: float
+    adaptive_pause_s: float
+    final_scale: float
+    shrinks: int
+    grows: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "gc_threads": self.gc_threads,
+            "static_imbalance": round(self.static_imbalance, 6),
+            "adaptive_imbalance": round(self.adaptive_imbalance, 6),
+            "static_pause_s": round(self.static_pause_s, 9),
+            "adaptive_pause_s": round(self.adaptive_pause_s, 9),
+            "final_scale": round(self.final_scale, 6),
+            "shrinks": self.shrinks,
+            "grows": self.grows,
+        }
+
+
+def run_adaptive_comparison(
+    threads: Sequence[int] = ADAPTIVE_THREADS, batches: int = 60
+) -> List[AdaptivePoint]:
+    points: List[AdaptivePoint] = []
+    for t in threads:
+        static_vm = run_churn(t, batches=batches)
+        adaptive_vm = run_churn(t, batches=batches, adaptive=True)
+        controller = adaptive_vm.collector.stats.batch_controller_summary()
+        s_stats = static_vm.collector.stats
+        a_stats = adaptive_vm.collector.stats
+        points.append(
+            AdaptivePoint(
+                gc_threads=t,
+                static_imbalance=s_stats.mean_imbalance(),
+                adaptive_imbalance=a_stats.mean_imbalance(),
+                static_pause_s=(
+                    s_stats.total_time("minor") + s_stats.total_time("major")
+                ),
+                adaptive_pause_s=(
+                    a_stats.total_time("minor") + a_stats.total_time("major")
+                ),
+                final_scale=controller["final_scale"],
+                shrinks=int(controller["shrinks"]),
+                grows=int(controller["grows"]),
+            )
+        )
+    return points
+
+
+def format_adaptive_points(points: List[AdaptivePoint]) -> str:
+    lines = [
+        "thr  imbal(static)  imbal(adaptive)  pause(static)"
+        "  pause(adaptive)  scale  shrinks grows"
+    ]
+    for p in points:
+        lines.append(
+            f"{p.gc_threads:3d}  {p.static_imbalance:13.4f}"
+            f"  {p.adaptive_imbalance:15.4f}  {p.static_pause_s:13.4f}"
+            f"  {p.adaptive_pause_s:15.4f}  {p.final_scale:5.2f}"
+            f"  {p.shrinks:7d} {p.grows:5d}"
+        )
+    return "\n".join(lines)
+
+
 # ======================================================================
 # Baseline regression gate (CI)
 # ======================================================================
-def baseline_payload(points: List[ScalingPoint], batches: int) -> Dict:
+def baseline_payload(
+    by_policy: Dict[str, List[ScalingPoint]], batches: int
+) -> Dict:
     return {
-        "schema": 1,
+        "schema": 2,
         "batches": batches,
-        "points": [p.to_dict() for p in points],
+        "policies": {
+            policy: [p.to_dict() for p in points]
+            for policy, points in sorted(by_policy.items())
+        },
     }
+
+
+def payload_digest(payload: Dict) -> str:
+    """Canonical digest of a sweep payload (the determinism artifact)."""
+    doc = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(doc.encode()).hexdigest()
 
 
 def check_baseline(
-    points: List[ScalingPoint], baseline: Dict
+    by_policy: Dict[str, List[ScalingPoint]], baseline: Dict
 ) -> List[str]:
     """Compare against a checked-in baseline; returns failure messages.
 
-    The gate is the 1-thread total pause: the engine at one worker must
-    reproduce the serial cost model, so a >10% drift there means the
-    task decomposition or the engine's overhead accounting changed.
+    The gate is the 1-thread total pause, per steal policy: the engine
+    at one worker must reproduce the serial cost model, so a >10% drift
+    there means the task decomposition or the engine's overhead
+    accounting changed.
     """
     failures: List[str] = []
-    base_points = {
-        p["gc_threads"]: p for p in baseline.get("points", [])
-    }
-    one = next((p for p in points if p.gc_threads == 1), None)
-    ref = base_points.get(1)
-    if one is None or ref is None:
-        return ["baseline or sweep lacks a gc_threads=1 point"]
-    ceiling = ref["total_pause_s"] * (1.0 + BASELINE_TOLERANCE)
-    if one.total_pause_s > ceiling:
+    base_policies = baseline.get("policies")
+    if base_policies is None:
+        # Schema-1 fallback: a flat point list, treated as steal-one.
+        base_policies = {"steal-one": baseline.get("points", [])}
+    for policy, points in sorted(by_policy.items()):
+        base_points = {
+            p["gc_threads"]: p for p in base_policies.get(policy, [])
+        }
+        one = next((p for p in points if p.gc_threads == 1), None)
+        ref = base_points.get(1)
+        if one is None or ref is None:
+            failures.append(
+                f"{policy}: baseline or sweep lacks a gc_threads=1 point"
+            )
+            continue
+        ceiling = ref["total_pause_s"] * (1.0 + BASELINE_TOLERANCE)
+        if one.total_pause_s > ceiling:
+            failures.append(
+                f"{policy}: 1-thread GC pause regressed: "
+                f"{one.total_pause_s:.6f}s vs baseline "
+                f"{ref['total_pause_s']:.6f}s (+{BASELINE_TOLERANCE:.0%} "
+                f"ceiling {ceiling:.6f}s)"
+            )
+    return failures
+
+
+def check_determinism(
+    threads: Sequence[int], batches: int
+) -> List[str]:
+    """Re-run the steal-half sweep and the adaptive comparison; any
+    digest drift between the two runs is a determinism regression."""
+    failures: List[str] = []
+    first = baseline_payload(
+        {"steal-half": run_scaling(threads, batches, "steal-half")}, batches
+    )
+    second = baseline_payload(
+        {"steal-half": run_scaling(threads, batches, "steal-half")}, batches
+    )
+    if payload_digest(first) != payload_digest(second):
+        failures.append("steal-half sweep digests differ across two runs")
+    adaptive_threads = [t for t in threads if t >= 8] or list(threads)[-1:]
+    a1 = [p.to_dict() for p in run_adaptive_comparison(
+        adaptive_threads, batches
+    )]
+    a2 = [p.to_dict() for p in run_adaptive_comparison(
+        adaptive_threads, batches
+    )]
+    if payload_digest({"points": a1}) != payload_digest({"points": a2}):
         failures.append(
-            "1-thread GC pause regressed: "
-            f"{one.total_pause_s:.6f}s vs baseline "
-            f"{ref['total_pause_s']:.6f}s (+{BASELINE_TOLERANCE:.0%} "
-            f"ceiling {ceiling:.6f}s)"
+            "adaptive-batching digests differ across two runs"
         )
     return failures
 
@@ -279,6 +639,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="small fast sweep (CI)",
     )
     parser.add_argument(
+        "--policy",
+        choices=list(STEAL_POLICIES) + ["both"],
+        default="both",
+        help="steal policy (or 'both' for the head-to-head comparison)",
+    )
+    parser.add_argument(
         "--write-baseline",
         metavar="PATH",
         default=None,
@@ -290,15 +656,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="fail if the 1-thread pause regresses >10%% vs this JSON",
     )
+    parser.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="re-run the steal-half sweep + adaptive comparison and fail "
+        "on any digest drift (byte-identical schedules)",
+    )
     args = parser.parse_args(argv)
     batches = args.batches or (24 if args.smoke else 60)
+    policies = (
+        list(STEAL_POLICIES) if args.policy == "both" else [args.policy]
+    )
 
-    points = run_scaling(args.threads, batches=batches)
-    print(format_scaling(points))
+    by_policy: Dict[str, List[ScalingPoint]] = {}
+    for policy in policies:
+        points = run_scaling(args.threads, batches=batches,
+                             steal_policy=policy)
+        by_policy[policy] = points
+        print(f"== steal policy: {policy} ==")
+        print(format_scaling(points))
+        print()
+    if len(by_policy) > 1:
+        print("== policy divergence (same work, different schedules) ==")
+        print(format_policy_divergence(by_policy))
+        print()
 
+    th_phases = max(4, TH_PHASES // 2) if args.smoke else TH_PHASES
+    print("== TeraHeap: stripe ownership bounds scan parallelism ==")
+    print(format_teraheap_points(
+        teraheap_scan_points(args.threads, phases=th_phases)
+    ))
+    print()
+
+    adaptive_threads = [t for t in args.threads if t >= 8]
+    if adaptive_threads:
+        print("== adaptive batch sizing (static vs controller) ==")
+        print(format_adaptive_points(
+            run_adaptive_comparison(adaptive_threads, batches=batches)
+        ))
+        print()
+
+    failures: List[str] = []
     if args.write_baseline:
         with open(args.write_baseline, "w") as f:
-            json.dump(baseline_payload(points, batches), f, indent=2)
+            json.dump(baseline_payload(by_policy, batches), f, indent=2)
             f.write("\n")
         print(f"baseline written to {args.write_baseline}")
     if args.check_baseline:
@@ -309,12 +710,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "warning: baseline batches="
                 f"{baseline.get('batches')} != sweep batches={batches}"
             )
-        failures = check_baseline(points, baseline)
-        for failure in failures:
-            print(f"FAIL: {failure}")
-        if failures:
-            return 1
+        failures.extend(check_baseline(by_policy, baseline))
+    if args.check_determinism:
+        failures.extend(check_determinism(args.threads, batches))
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if failures:
+        return 1
+    if args.check_baseline:
         print("baseline check passed")
+    if args.check_determinism:
+        print("determinism check passed")
     return 0
 
 

@@ -7,6 +7,7 @@ lanes with seeded work stealing; the pause charged to the mutator is the
 critical path over the lanes.
 """
 
+from .adaptive import BatchController
 from .engine import (
     GCTaskEngine,
     ParallelCycleSummary,
@@ -18,6 +19,7 @@ from .tasks import BatchBuilder, GCTask, TaskBag, chunked_sweep
 
 __all__ = [
     "BatchBuilder",
+    "BatchController",
     "GCTask",
     "GCTaskEngine",
     "ParallelCycleSummary",

@@ -8,6 +8,17 @@ the mutator pause is the critical path, so thread-scaling behaviour —
 speedup, load imbalance, steal and termination overhead — is an output
 of the simulation instead of a ``threads ** 0.8`` assumption.
 
+Two steal policies are modelled.  ``steal-one`` takes a single task off
+the back of the victim's deque per steal.  ``steal-half`` — the real
+Parallel Scavenge policy — transfers half the victim's deque in one
+grab, paying a size-dependent transfer cost, so thieves re-arm with a
+run of work instead of returning to the victim after every task.
+
+The pool is block-partitioned over ``numa_nodes`` simulated NUMA nodes:
+victim selection prefers deques on the thief's own node, and a steal
+that does cross nodes pays the remote-access premium on top of the base
+steal cost.
+
 Determinism: the only randomness is victim selection, drawn from a
 :class:`random.Random` seeded from ``VMConfig.engine.seed``.  Two runs
 of the same workload produce byte-identical schedules and traces.
@@ -31,6 +42,10 @@ class WorkerStats:
     index: int
     tasks: int = 0
     steals: int = 0
+    #: steals whose victim lane lived on another NUMA node
+    remote_steals: int = 0
+    #: tasks acquired through stealing (> steals under steal-half)
+    tasks_stolen: int = 0
     busy_seconds: float = 0.0
     steal_seconds: float = 0.0
     overhead_seconds: float = 0.0
@@ -55,6 +70,8 @@ class PhaseExecution:
     steals: int
     idle_seconds: float
     imbalance: float
+    remote_steals: int = 0
+    stolen_tasks: int = 0
     per_worker: List[WorkerStats] = field(default_factory=list)
 
     @property
@@ -62,6 +79,20 @@ class PhaseExecution:
         if self.critical_path <= 0.0:
             return 1.0
         return self.serial_seconds / self.critical_path
+
+    def stat_record(self) -> Dict[str, Any]:
+        """Compact per-phase stats for trace exporters and CSVs."""
+        return {
+            "phase": self.phase,
+            "workers": self.workers,
+            "tasks": self.tasks,
+            "steals": self.steals,
+            "remote_steals": self.remote_steals,
+            "serial_s": round(self.serial_seconds, 9),
+            "critical_s": round(self.critical_path, 9),
+            "idle_s": round(self.idle_seconds, 9),
+            "imbalance": round(self.imbalance, 6),
+        }
 
 
 @dataclass
@@ -71,9 +102,11 @@ class ParallelCycleSummary:
     workers: int = 1
     tasks: int = 0
     steals: int = 0
+    remote_steals: int = 0
     serial_seconds: float = 0.0
     parallel_seconds: float = 0.0
     idle_seconds: float = 0.0
+    overhead_seconds: float = 0.0
     imbalance: float = 1.0
     worker_busy: List[float] = field(default_factory=list)
     worker_idle: List[float] = field(default_factory=list)
@@ -90,24 +123,33 @@ def summarize_executions(
     busy = [0.0] * lanes
     idle = [0.0] * lanes
     steals = [0] * lanes
-    active_total = 0.0
+    # Cycle-wide mean active lane time is per-phase-weighted: each phase
+    # contributes its active time divided by *its own* worker count, so a
+    # cycle mixing 1-worker majors with 4-worker minors does not divide
+    # single-lane phases by the widest pool (which understated the mean
+    # and overstated imbalance).
+    mean_active = 0.0
     for ex in execs:
         summary.tasks += ex.tasks
         summary.steals += ex.steals
+        summary.remote_steals += ex.remote_steals
         summary.serial_seconds += ex.serial_seconds
         summary.parallel_seconds += ex.critical_path
         summary.idle_seconds += ex.idle_seconds
+        phase_active = 0.0
         for ws in ex.per_worker:
             busy[ws.index] += ws.busy_seconds
             idle[ws.index] += ws.idle_seconds
             steals[ws.index] += ws.steals
-            active_total += ws.active_seconds
+            phase_active += ws.active_seconds
+            summary.overhead_seconds += ws.overhead_seconds
+        mean_active += phase_active / max(1, ex.workers)
     summary.worker_busy = busy
     summary.worker_idle = idle
     summary.worker_steals = steals
-    if active_total > 0.0 and summary.parallel_seconds > 0.0:
-        # Critical path over mean active lane time, cycle-wide.
-        summary.imbalance = summary.parallel_seconds / (active_total / lanes)
+    if mean_active > 0.0 and summary.parallel_seconds > 0.0:
+        # Summed critical paths over summed per-phase mean lane times.
+        summary.imbalance = summary.parallel_seconds / mean_active
     return summary
 
 
@@ -122,20 +164,32 @@ class GCTaskEngine:
         seed: int,
         trace: bool = False,
         name: str = "gc",
+        steal_policy: str = "steal-one",
+        numa_nodes: int = 1,
     ):
         if workers < 1:
             raise ValueError(f"engine needs >=1 worker, got {workers}")
+        if steal_policy not in ("steal-one", "steal-half"):
+            raise ValueError(f"unknown steal policy {steal_policy!r}")
+        if numa_nodes < 1:
+            raise ValueError(f"engine needs >=1 NUMA node, got {numa_nodes}")
         self.clock = clock
         self.cost = cost
         self.workers = workers
         self.rng = random.Random(seed)
         self.trace = trace
         self.name = name
+        self.steal_policy = steal_policy
+        self.numa_nodes = min(numa_nodes, workers)
         #: Chrome-trace (chrome://tracing) events, populated when tracing
         self.trace_events: List[Dict[str, Any]] = []
+        #: per-phase stat records, in execution order (chrome-trace
+        #: ``otherData`` and pause-phase attribution)
+        self.phase_log: List[Dict[str, Any]] = []
         # Lifetime counters (across all phases run on this engine).
         self.total_tasks = 0
         self.total_steals = 0
+        self.total_remote_steals = 0
         self.total_phases = 0
 
     # ------------------------------------------------------------------
@@ -148,11 +202,17 @@ class GCTaskEngine:
         """Execute ``tasks`` on ``workers`` lanes; charge the critical path.
 
         The caller's current bucket/sub-bucket context receives the
-        charge, exactly like a scalar ``clock.charge`` would.
+        charge, exactly like a scalar ``clock.charge`` would.  An
+        explicit ``workers=`` request is clamped to the engine's pool
+        size: a phase can narrow its parallelism (stripe ownership,
+        single-threaded old gen) but never run on more lanes than the
+        engine has threads.
         """
         task_list = list(tasks)
-        n = max(1, min(self.workers if workers is None else workers,
-                       max(1, len(task_list))))
+        requested = (
+            self.workers if workers is None else min(workers, self.workers)
+        )
+        n = max(1, min(requested, max(1, len(task_list))))
         if not task_list:
             return PhaseExecution(
                 phase=phase,
@@ -179,19 +239,38 @@ class GCTaskEngine:
         stats = [WorkerStats(i) for i in range(n)]
         dispatch = self.cost.gc_task_dispatch_cost
         steal_cost = self.cost.gc_steal_cost
+        transfer_cost = getattr(self.cost, "gc_steal_transfer_cost", 0.0)
+        remote_premium = getattr(self.cost, "gc_numa_remote_premium", 0.0)
+        steal_half = self.steal_policy == "steal-half"
         t0 = self.clock.now
-        with self.clock.parallel(n) as lanes:
+        with self.clock.parallel(n, nodes=self.numa_nodes) as lanes:
             remaining = len(task_list)
             while remaining:
                 w = min(range(n), key=lambda i: (lanes.lane_time(i), i))
-                if deques[w]:
-                    task = deques[w].popleft()
-                else:
+                if not deques[w]:
                     victims = [i for i in range(n) if deques[i]]
-                    victim = victims[self.rng.randrange(len(victims))]
-                    task = deques[victim].pop()
-                    lanes.advance(w, steal_cost, kind="steal")
+                    # NUMA affinity: steal from the thief's own node when
+                    # any same-node deque has work; go remote otherwise.
+                    local = [
+                        i
+                        for i in victims
+                        if lanes.node_of(i) == lanes.node_of(w)
+                    ]
+                    pool = local or victims
+                    victim = pool[self.rng.randrange(len(pool))]
+                    grab = (
+                        max(1, len(deques[victim]) // 2) if steal_half else 1
+                    )
+                    for _ in range(grab):
+                        deques[w].append(deques[victim].pop())
+                    charge = steal_cost + (grab - 1) * transfer_cost
+                    if lanes.node_of(victim) != lanes.node_of(w):
+                        charge += remote_premium
+                        stats[w].remote_steals += 1
+                    lanes.advance(w, charge, kind="steal")
                     stats[w].steals += 1
+                    stats[w].tasks_stolen += grab
+                task = deques[w].popleft()
                 start = lanes.lane_time(w)
                 lanes.advance(w, dispatch, kind="overhead")
                 lanes.advance(w, task.cost, kind="busy")
@@ -237,9 +316,13 @@ class GCTaskEngine:
             steals=sum(s.steals for s in stats),
             idle_seconds=total_idle,
             imbalance=imbalance,
+            remote_steals=sum(s.remote_steals for s in stats),
+            stolen_tasks=sum(s.tasks_stolen for s in stats),
             per_worker=stats,
         )
         self.total_tasks += execution.tasks
         self.total_steals += execution.steals
+        self.total_remote_steals += execution.remote_steals
         self.total_phases += 1
+        self.phase_log.append(execution.stat_record())
         return execution

@@ -25,7 +25,7 @@ from ..heap.heap import H1_BASE
 from ..heap.object_model import HeapObject, SpaceId
 from ..heap.roots import RootSet
 from .base import Collector, GCCycle
-from .engine import GCTaskEngine, PhaseExecution, TaskBag
+from .engine import BatchController, GCTaskEngine, PhaseExecution, TaskBag
 
 
 class RegionState(enum.Enum):
@@ -248,7 +248,10 @@ class G1Collector(Collector):
             seed=config.engine.seed,
             trace=config.engine.trace,
             name=self.name,
+            steal_policy=config.engine.steal_policy,
+            numa_nodes=config.engine.numa_nodes,
         )
+        self.batch = BatchController(config.engine)
         self.full_collections = 0
 
     def _run_phase(self, bag: TaskBag, phase: str) -> PhaseExecution:
@@ -259,7 +262,7 @@ class G1Collector(Collector):
     # ------------------------------------------------------------------
     def _trace_young(self, epoch: int) -> List[HeapObject]:
         cost = self.cost
-        batch = self.config.engine.scan_batch_objects
+        batch = self.batch.scan_batch_objects
         bag = TaskBag()
         remset_scan = bag.batcher("g1-remset", "root", batch)
         stack = [o for o in self.roots if o.in_young]
@@ -311,7 +314,7 @@ class G1Collector(Collector):
             return False
         bag = TaskBag()
         copier = bag.batcher(
-            "g1-copy", "copy", self.config.engine.copy_batch_objects
+            "g1-copy", "copy", self.batch.copy_batch_objects
         )
         for obj in objects:
             while target is not None and not target.allocate(obj):
@@ -378,7 +381,7 @@ class G1Collector(Collector):
         cost = self.cost
         bag = TaskBag()
         mark = bag.batcher(
-            "g1-mark", "scan", self.config.engine.scan_batch_objects
+            "g1-mark", "scan", self.batch.scan_batch_objects
         )
         stack = [o for o in self.roots if o.space is not SpaceId.FREED]
         live: List[HeapObject] = []
@@ -468,7 +471,7 @@ class G1Collector(Collector):
         cost = self.cost
         bag = TaskBag()
         mark = bag.batcher(
-            "g1-full-mark", "scan", self.config.engine.scan_batch_objects
+            "g1-full-mark", "scan", self.batch.scan_batch_objects
         )
         stack = [o for o in self.roots if o.space is not SpaceId.FREED]
         live: List[HeapObject] = []
@@ -508,7 +511,7 @@ class G1Collector(Collector):
         compact = bag.batcher(
             "g1-full-compact",
             "compact",
-            self.config.engine.copy_batch_objects,
+            self.batch.copy_batch_objects,
         )
         for obj in movable:
             compact.add(obj.size / cost.gc_copy_bw)

@@ -33,7 +33,13 @@ from ..heap.heap import ManagedHeap
 from ..heap.object_model import HeapObject, SpaceId
 from ..heap.roots import RootSet
 from .base import Collector, GCCycle
-from .engine import GCTaskEngine, PhaseExecution, TaskBag, chunked_sweep
+from .engine import (
+    BatchController,
+    GCTaskEngine,
+    PhaseExecution,
+    TaskBag,
+    chunked_sweep,
+)
 
 
 class PromotionFailure(Exception):
@@ -65,7 +71,10 @@ class ParallelScavenge(Collector):
             seed=config.engine.seed,
             trace=config.engine.trace,
             name=self.name,
+            steal_policy=config.engine.steal_policy,
+            numa_nodes=config.engine.numa_nodes,
         )
+        self.batch = BatchController(config.engine)
 
     def major_workers(self) -> int:
         """GC threads collecting the old generation (jdk8 PS: one)."""
@@ -196,7 +205,7 @@ class ParallelScavenge(Collector):
             # --- Trace live young objects -------------------------------
             bag = TaskBag()
             scan = bag.batcher(
-                "minor-scan", "scan", eng_cfg.scan_batch_objects
+                "minor-scan", "scan", self.batch.scan_batch_objects
             )
             live_young: List[HeapObject] = []
             stack = [o for o in roots if o.in_young]
@@ -221,7 +230,7 @@ class ParallelScavenge(Collector):
             # --- Copy phase ----------------------------------------------
             copy_bag = TaskBag()
             copier = copy_bag.batcher(
-                "minor-copy", "copy", eng_cfg.copy_batch_objects
+                "minor-copy", "copy", self.batch.copy_batch_objects
             )
             to_space = heap.survivor_to
             promote: List[HeapObject] = []
@@ -335,7 +344,7 @@ class ParallelScavenge(Collector):
             with self.clock.sub_context("marking"):
                 bag = TaskBag()
                 mark = bag.batcher(
-                    "major-mark", "scan", eng_cfg.scan_batch_objects
+                    "major-mark", "scan", self.batch.scan_batch_objects
                 )
                 self.pre_major_mark()
                 stack: List[HeapObject] = []
@@ -400,7 +409,7 @@ class ParallelScavenge(Collector):
                 forward = bag.batcher(
                     "major-forward",
                     "precompact",
-                    eng_cfg.precompact_batch_objects,
+                    self.batch.precompact_batch_objects,
                 )
                 for _ in live:
                     forward.add(cost.gc_forward_cost)
@@ -435,7 +444,7 @@ class ParallelScavenge(Collector):
             with self.clock.sub_context("adjust"):
                 bag = TaskBag()
                 adjust = bag.batcher(
-                    "major-adjust", "scan", eng_cfg.scan_batch_objects
+                    "major-adjust", "scan", self.batch.scan_batch_objects
                 )
                 for obj in live:
                     adjust.add(
@@ -458,7 +467,7 @@ class ParallelScavenge(Collector):
             with self.clock.sub_context("compact"):
                 bag = TaskBag()
                 compact = bag.batcher(
-                    "major-compact", "compact", eng_cfg.copy_batch_objects
+                    "major-compact", "compact", self.batch.copy_batch_objects
                 )
                 for obj in in_old:
                     moved = obj.address != obj.forward_address

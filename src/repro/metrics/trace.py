@@ -16,6 +16,27 @@ from ..runtime import JavaVM
 from ..teraheap.regions import RegionLiveness
 
 
+def engine_phase_detail(cycle: GCCycle) -> str:
+    """One cycle's per-phase engine stats, folded into a CSV-safe cell.
+
+    ``phase:workers:tasks:steals:remote_steals:idle_s:imbalance`` per
+    phase execution, ``|``-joined in execution order.
+    """
+    return "|".join(
+        "{phase}:{workers}:{tasks}:{steals}:{remote_steals}:"
+        "{idle:.6f}:{imb:.4f}".format(
+            phase=p["phase"],
+            workers=p["workers"],
+            tasks=p["tasks"],
+            steals=p["steals"],
+            remote_steals=p["remote_steals"],
+            idle=p["idle_s"],
+            imb=p["imbalance"],
+        )
+        for p in cycle.engine_phases
+    )
+
+
 def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
     """CSV of per-cycle GC records: the Figure 7 series."""
     out = io.StringIO()
@@ -37,9 +58,12 @@ def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
             "gc_threads",
             "tasks",
             "steals",
+            "remote_steals",
             "idle_s",
             "imbalance",
             "parallel_speedup",
+            "batch_scale",
+            "engine_phases",
         ]
     )
     for c in cycles:
@@ -60,9 +84,12 @@ def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
                 c.gc_threads,
                 c.tasks_executed,
                 c.steals,
+                c.remote_steals,
                 f"{c.idle_seconds:.6f}",
                 f"{c.imbalance:.4f}",
                 f"{c.parallel_speedup:.4f}",
+                f"{c.batch_scale:.4f}",
+                engine_phase_detail(c),
             ]
         )
     return out.getvalue()

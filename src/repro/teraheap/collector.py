@@ -250,7 +250,7 @@ class TeraHeapCollector(ParallelScavenge):
         groups: Dict[str, List[HeapObject]] = {}
         bag = TaskBag()
         closure = bag.batcher(
-            "h2-closure", "scan", self.config.engine.scan_batch_objects
+            "h2-closure", "scan", self.batch.scan_batch_objects
         )
         for root in self.hints.tagged_roots():
             if root.mark_epoch < epoch or not root.in_h1:

@@ -178,3 +178,20 @@ def test_parallel_single_lane_is_serial():
         lanes.advance(0, 1.0)
         lanes.advance(0, 2.0)
     assert clock.now == pytest.approx(3.0)
+
+
+def test_parallel_charges_nothing_on_exception_exit():
+    """A parallel region aborted mid-phase (a simulated crash at a GC
+    safepoint) must not charge the partial critical path: recovery
+    reconstructs post-crash time from the durable image, so mutator
+    time must stop at the last clean safepoint."""
+    clock = Clock()
+    with clock.context(Bucket.MAJOR_GC):
+        clock.charge(1.0)
+        with pytest.raises(RuntimeError):
+            with clock.parallel(2) as lanes:
+                lanes.advance(0, 5.0)
+                lanes.advance(1, 2.0)
+                raise RuntimeError("crash at safepoint")
+    assert clock.now == pytest.approx(1.0)
+    assert clock.total(Bucket.MAJOR_GC) == pytest.approx(1.0)

@@ -273,6 +273,33 @@ def test_crash_cells_are_deterministic_across_reruns():
     assert run_once() == run_once()
 
 
+def test_crash_mid_parallel_compact_is_deterministic():
+    """A kill inside the parallel compaction phase aborts the engine's
+    multi-lane region via the crash exception.  The aborted region must
+    charge nothing (mutator time stops at the last clean safepoint), so
+    the clock, the durable image, and the recovery report are all
+    byte-identical across reruns."""
+
+    def run_once():
+        fault = FaultConfig(
+            seed=SEED, fault_seed=99, crash_point="major_compact",
+            crash_after=2,
+        )
+        vm = make_vm("commit", fault)
+        workload = Workload(vm, SEED)
+        with pytest.raises(SimulatedCrash):
+            for i in range(4):
+                workload.run_phase(i)
+        image = lift_image(vm)
+        fresh = make_vm("commit")
+        report = fresh.recover_h2(image)
+        return vm.clock.now, image.digest(), report.digest()
+
+    first = run_once()
+    assert first == run_once()
+    assert first[0] > 0.0
+
+
 # ======================================================================
 # Property: no schedule silently corrupts the heap
 # ======================================================================

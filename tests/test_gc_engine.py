@@ -264,13 +264,18 @@ def test_scaling_monotone_and_sublinear():
 def test_scaling_baseline_gate():
     points = gc_scaling.run_scaling((1, 2), batches=10)
     assert points[0].total_pause_s > 0.0, "churn run must trigger GC"
-    payload = gc_scaling.baseline_payload(points, batches=10)
-    assert gc_scaling.check_baseline(points, payload) == []
+    by_policy = {"steal-one": points}
+    payload = gc_scaling.baseline_payload(by_policy, batches=10)
+    assert payload["schema"] == 2
+    assert gc_scaling.check_baseline(by_policy, payload) == []
     shrunk = json.loads(json.dumps(payload))
-    shrunk["points"][0]["total_pause_s"] /= 2.0
-    failures = gc_scaling.check_baseline(points, shrunk)
+    shrunk["policies"]["steal-one"][0]["total_pause_s"] /= 2.0
+    failures = gc_scaling.check_baseline(by_policy, shrunk)
     assert failures and "regressed" in failures[0]
-    assert gc_scaling.check_baseline(points, {"points": []})
+    assert gc_scaling.check_baseline(by_policy, {"policies": {}})
+    # Schema-1 fallback: a flat point list is treated as steal-one.
+    legacy = {"points": payload["policies"]["steal-one"]}
+    assert gc_scaling.check_baseline(by_policy, legacy) == []
 
 
 # ======================================================================
@@ -349,3 +354,343 @@ def test_empty_stats_defaults():
     assert stats.mean_imbalance() == 1.0
     assert stats.parallel_efficiency() == 1.0
     assert stats.total_tasks() == 0
+
+
+# ======================================================================
+# Worker clamp (satellite bugfix: explicit workers= vs the pool size)
+# ======================================================================
+def test_explicit_workers_clamped_to_pool_size():
+    engine = make_engine(workers=2)
+    bag = TaskBag()
+    for i in range(8):
+        bag.add(f"t{i}", 0.01)
+    execution = engine.run(bag, "phase", workers=8)
+    assert execution.workers == 2
+    assert len(execution.per_worker) == 2
+
+
+def test_explicit_workers_can_narrow_the_pool():
+    engine = make_engine(workers=8)
+    bag = TaskBag()
+    for i in range(8):
+        bag.add(f"t{i}", 0.01)
+    execution = engine.run(bag, "phase", workers=3)
+    assert execution.workers == 3
+
+
+# ======================================================================
+# Cycle summary accounting (satellite bugfix: per-phase-weighted mean)
+# ======================================================================
+def test_summary_imbalance_weights_mixed_worker_phases():
+    """A cycle mixing a 2-worker phase with a 1-worker phase: the mean
+    active lane time must weight each phase by its own worker count, not
+    divide everything by the widest pool."""
+    from repro.gc.engine.engine import (
+        PhaseExecution,
+        WorkerStats,
+        summarize_executions,
+    )
+
+    wide = PhaseExecution(
+        phase="scan", workers=2, tasks=4, serial_seconds=3.0,
+        critical_path=2.0, steals=0, idle_seconds=1.0, imbalance=4.0 / 3.0,
+        per_worker=[
+            WorkerStats(0, busy_seconds=2.0),
+            WorkerStats(1, busy_seconds=1.0, idle_seconds=1.0),
+        ],
+    )
+    narrow = PhaseExecution(
+        phase="compact", workers=1, tasks=2, serial_seconds=4.0,
+        critical_path=4.0, steals=0, idle_seconds=0.0, imbalance=1.0,
+        per_worker=[WorkerStats(0, busy_seconds=4.0)],
+    )
+    summary = summarize_executions([wide, narrow], workers=2)
+    # mean active = 3.0/2 (wide) + 4.0/1 (narrow) = 5.5;
+    # imbalance = (2.0 + 4.0) / 5.5.  The old max-lane-count formula
+    # divided the narrow phase's 4.0s by 2 lanes, giving 6.0/3.5 ~ 1.71.
+    assert summary.imbalance == pytest.approx(6.0 / 5.5)
+    assert summary.parallel_seconds == pytest.approx(6.0)
+    assert summary.serial_seconds == pytest.approx(7.0)
+
+
+def test_summary_imbalance_uniform_workers_unchanged():
+    """All-same-worker-count cycles must keep the old (correct) value."""
+    from repro.gc.engine.engine import summarize_executions
+
+    engine = make_engine(workers=4)
+    execs = []
+    for _ in range(3):
+        bag = TaskBag()
+        for i in range(16):
+            bag.add(f"t{i}", 0.01)
+        execs.append(engine.run(bag, "phase"))
+    summary = summarize_executions(execs, workers=4)
+    active = sum(
+        ws.active_seconds for ex in execs for ws in ex.per_worker
+    )
+    expected = sum(e.critical_path for e in execs) / (active / 4)
+    assert summary.imbalance == pytest.approx(expected)
+
+
+# ======================================================================
+# Steal policies (tentpole: steal-one vs steal-half)
+# ======================================================================
+def make_policy_engine(policy, workers=4, numa_nodes=1, cost=None,
+                       clock=None):
+    return GCTaskEngine(
+        clock or Clock(), cost or CostModel(), workers=workers, seed=7,
+        steal_policy=policy, numa_nodes=numa_nodes,
+    )
+
+
+def skewed_bag(n=16, cost=0.01):
+    bag = TaskBag()
+    for i in range(n):
+        bag.add(f"t{i}", cost, affinity=0)
+    return bag
+
+
+def test_engine_rejects_unknown_steal_policy():
+    with pytest.raises(ValueError):
+        make_policy_engine("steal-two")
+    with pytest.raises(ValueError):
+        GCTaskEngine(Clock(), CostModel(), workers=2, seed=7, numa_nodes=0)
+
+
+def test_steal_half_moves_more_tasks_per_steal():
+    one = make_policy_engine("steal-one").run(skewed_bag(), "p")
+    half = make_policy_engine("steal-half").run(skewed_bag(), "p")
+    # Same work either way; only the schedules differ.
+    assert one.serial_seconds == pytest.approx(half.serial_seconds)
+    assert one.tasks == half.tasks
+    # steal-one: every stolen task is its own steal operation.
+    assert one.stolen_tasks == one.steals
+    # steal-half: bulk transfers — fewer operations, >1 task per grab.
+    assert half.steals < one.steals
+    assert half.stolen_tasks > half.steals
+
+
+def test_steal_half_transfer_cost_scales_with_grab_size():
+    cost = CostModel(gc_steal_transfer_cost=0.25)
+    execution = make_policy_engine("steal-half", cost=cost).run(
+        skewed_bag(n=32, cost=1.0), "p"
+    )
+    assert execution.stolen_tasks > execution.steals
+    # Each steal charges base cost plus per-extra-task transfer cost:
+    # summed over the run, steal time must equal
+    # steals*base + (stolen_tasks - steals)*transfer exactly.
+    total_steal_time = sum(
+        ws.steal_seconds for ws in execution.per_worker
+    )
+    expected = (
+        execution.steals * cost.gc_steal_cost
+        + (execution.stolen_tasks - execution.steals)
+        * cost.gc_steal_transfer_cost
+    )
+    assert total_steal_time == pytest.approx(expected)
+
+
+def test_scaling_policies_diverge_with_equal_work():
+    one = gc_scaling.run_scaling((2,), batches=24, steal_policy="steal-one")
+    half = gc_scaling.run_scaling(
+        (2,), batches=24, steal_policy="steal-half"
+    )
+    assert one[0].serial_s == pytest.approx(half[0].serial_s)
+    assert one[0].tasks == half[0].tasks
+    assert one[0].steals != half[0].steals
+
+
+# ======================================================================
+# NUMA lanes (tentpole: node-aware victim selection + remote premium)
+# ======================================================================
+def test_local_victims_preferred_when_both_nodes_have_work():
+    engine = make_policy_engine("steal-one", workers=4, numa_nodes=2)
+    bag = TaskBag()
+    for i in range(4):
+        bag.add(f"a{i}", 1.0, affinity=0)  # node 0 (workers 0,1)
+    for i in range(4):
+        bag.add(f"b{i}", 1.0, affinity=2)  # node 1 (workers 2,3)
+    execution = engine.run(bag, "p")
+    assert execution.steals > 0
+    # Each empty worker has a same-node victim the whole run through, so
+    # no steal ever crosses the node boundary.
+    assert execution.remote_steals == 0
+
+
+def test_remote_steals_pay_the_numa_premium():
+    cost = CostModel(gc_numa_remote_premium=0.5)
+    flat = make_policy_engine(
+        "steal-one", workers=2, numa_nodes=1, cost=cost
+    ).run(skewed_bag(n=8, cost=1.0), "p")
+    numa = make_policy_engine(
+        "steal-one", workers=2, numa_nodes=2, cost=cost
+    ).run(skewed_bag(n=8, cost=1.0), "p")
+    # All work sits on worker 0, so worker 1's steals are forced remote
+    # under two nodes.
+    assert flat.remote_steals == 0
+    assert numa.remote_steals == numa.steals > 0
+    # Every steal charges the base cost; remote ones add the premium.
+    total_steal_time = sum(ws.steal_seconds for ws in numa.per_worker)
+    assert total_steal_time == pytest.approx(
+        numa.steals * cost.gc_steal_cost + numa.remote_steals * 0.5
+    )
+
+
+def test_numa_nodes_clamped_to_worker_count():
+    engine = GCTaskEngine(
+        Clock(), CostModel(), workers=2, seed=7, numa_nodes=8
+    )
+    assert engine.numa_nodes == 2
+
+
+# ======================================================================
+# Adaptive batch sizing (tentpole: feedback controller)
+# ======================================================================
+def adaptive_config(**kwargs):
+    from repro.config import GCEngineConfig
+
+    kwargs.setdefault("adaptive_batching", True)
+    return GCEngineConfig(**kwargs)
+
+
+def summary_with(workers=8, imbalance=1.0, serial=1.0, overhead=0.0,
+                 tasks=100, parallel=1.0):
+    from repro.gc.engine.engine import ParallelCycleSummary
+
+    return ParallelCycleSummary(
+        workers=workers, tasks=tasks, serial_seconds=serial,
+        parallel_seconds=parallel, overhead_seconds=overhead,
+        imbalance=imbalance,
+    )
+
+
+def test_batch_controller_disabled_is_inert():
+    from repro.gc.engine import BatchController
+
+    ctl = BatchController(adaptive_config(adaptive_batching=False))
+    assert not ctl.enabled
+    assert ctl.observe(summary_with(imbalance=9.0)) == "hold"
+    assert ctl.scale == 1.0
+    assert ctl.scan_batch_objects == ctl.config.scan_batch_objects
+
+
+def test_batch_controller_shrinks_on_imbalance_and_clamps():
+    from repro.gc.engine import BatchController
+
+    cfg = adaptive_config(scan_batch_objects=32, min_batch_scale=0.25)
+    ctl = BatchController(cfg)
+    assert ctl.observe(summary_with(imbalance=2.0)) == "shrink"
+    assert ctl.scale == 0.5
+    assert ctl.scan_batch_objects == 16
+    assert ctl.observe(summary_with(imbalance=2.0)) == "shrink"
+    assert ctl.scale == 0.25
+    # Clamped at min_batch_scale: no further shrink.
+    assert ctl.observe(summary_with(imbalance=2.0)) == "hold"
+    assert ctl.scale == 0.25
+    assert ctl.shrinks == 2
+
+
+def test_batch_controller_grows_back_on_dispatch_overhead():
+    from repro.gc.engine import BatchController
+
+    ctl = BatchController(adaptive_config())
+    ctl.observe(summary_with(imbalance=2.0))
+    assert ctl.scale == 0.5
+    # overhead_share = 0.4/(1.0+0.4) ~ 0.29 > 0.15 default threshold.
+    action = ctl.observe(summary_with(serial=1.0, overhead=0.4))
+    assert action == "grow"
+    assert ctl.scale == 1.0
+    # At full scale, overhead alone never grows past 1.0.
+    assert ctl.observe(summary_with(serial=1.0, overhead=0.4)) == "hold"
+    assert ctl.grows == 1
+
+
+def test_batch_controller_never_shrinks_single_worker_cycles():
+    from repro.gc.engine import BatchController
+
+    ctl = BatchController(adaptive_config())
+    assert ctl.observe(summary_with(workers=1, imbalance=9.0)) == "hold"
+    assert ctl.scale == 1.0
+
+
+def test_adaptive_batching_reduces_wide_pool_imbalance():
+    """The acceptance gate: at 8+ workers the controller must beat the
+    static batch sizes on the churn workload."""
+    points = gc_scaling.run_adaptive_comparison((8,), batches=24)
+    p = points[0]
+    assert p.shrinks > 0 and p.final_scale < 1.0
+    assert p.adaptive_imbalance < p.static_imbalance
+    assert p.adaptive_pause_s <= p.static_pause_s
+
+
+def test_adaptive_runs_stay_deterministic():
+    a = gc_scaling.run_churn(8, batches=8, adaptive=True)
+    b = gc_scaling.run_churn(8, batches=8, adaptive=True)
+    assert gc_timeline_csv(a.collector.stats.cycles) == gc_timeline_csv(
+        b.collector.stats.cycles
+    )
+    scales = [c.batch_scale for c in a.collector.stats.cycles]
+    assert scales == [c.batch_scale for c in b.collector.stats.cycles]
+
+
+# ======================================================================
+# Per-phase engine stats (satellite: surfaced in CSV + chrome trace)
+# ======================================================================
+def test_cycles_carry_per_phase_engine_stats():
+    vm = gc_scaling.run_churn(2, batches=6)
+    cycles = [c for c in vm.collector.stats.cycles if c.tasks_executed]
+    assert cycles
+    for cycle in cycles:
+        assert cycle.engine_phases
+        for rec in cycle.engine_phases:
+            assert set(rec) == {
+                "phase", "workers", "tasks", "steals", "remote_steals",
+                "serial_s", "critical_s", "idle_s", "imbalance",
+            }
+        assert sum(r["tasks"] for r in cycle.engine_phases) == (
+            cycle.tasks_executed
+        )
+        assert sum(r["steals"] for r in cycle.engine_phases) == cycle.steals
+
+
+def test_timeline_csv_has_engine_phase_columns():
+    vm = gc_scaling.run_churn(2, batches=6)
+    text = gc_timeline_csv(vm.collector.stats.cycles)
+    header = text.splitlines()[0].split(",")
+    for col in ("remote_steals", "batch_scale", "engine_phases"):
+        assert col in header
+    assert "minor-copy:" in text
+
+
+def test_chrome_trace_other_data_has_phase_stats():
+    vm = gc_scaling.run_churn(2, batches=6, trace=True)
+    doc = json.loads(chrome_trace_json(vm.collector.engine))
+    other = doc["otherData"]
+    assert other["stealPolicy"] == "steal-one"
+    assert other["numaNodes"] == 1
+    assert other["remoteSteals"] == 0
+    stats = other["phaseStats"]
+    assert len(stats) == vm.collector.engine.total_phases
+    assert sum(r["tasks"] for r in stats) == vm.collector.engine.total_tasks
+
+
+# ======================================================================
+# TeraHeap stripe ownership bounds H2 scan parallelism (satellite)
+# ======================================================================
+def test_teraheap_stripes_cap_scan_parallelism():
+    points = gc_scaling.teraheap_scan_points((1, 8, 16), phases=6)
+    by_threads = {p.gc_threads: p for p in points}
+    one, eight, sixteen = (
+        by_threads[1], by_threads[8], by_threads[16]
+    )
+    assert one.scan_workers == 1
+    # Stripe ownership: the scan phases never run wider than the stripe
+    # count, no matter the thread pool.
+    assert eight.scan_workers == gc_scaling.TH_STRIPES
+    assert sixteen.scan_workers == gc_scaling.TH_STRIPES
+    assert sixteen.scan_speedup <= gc_scaling.TH_STRIPES
+    # Plateau: 8 -> 16 threads buys the H2 scan nothing...
+    assert sixteen.scan_speedup == pytest.approx(eight.scan_speedup)
+    # ...while the plain-PS phases of the same run keep scaling.
+    assert sixteen.ps_speedup > sixteen.scan_speedup
+    assert eight.scan_speedup > one.scan_speedup
