@@ -18,6 +18,11 @@ Lanes advance independently while the region is open, and on exit the
 mutator is charged the **critical path** — the maximum lane time — so
 parallel speedup, load imbalance and steal overhead are emergent rather
 than assumed.
+
+``clock.concurrent(lanes, budget=...)`` is the overlap variant: the
+lane set races mutator progress that already elapsed, so only the part
+of the critical path exceeding ``budget`` lands in the pause — the
+substrate for G1's concurrent marking cycle.
 """
 
 from __future__ import annotations
@@ -48,9 +53,14 @@ class LaneSet:
     ``nodes`` (lane ``i`` lives on node ``i * nodes // lanes``), so a
     scheduler can tell same-node from cross-node steals and charge the
     remote-access premium accordingly.
+
+    ``hidden`` is filled in by :meth:`Clock.concurrent` on clean exit:
+    the part of the critical path that overlapped already-elapsed
+    mutator time and was therefore never charged.  Plain
+    :meth:`Clock.parallel` regions leave it at 0.
     """
 
-    __slots__ = ("num_lanes", "busy", "steal", "overhead", "node")
+    __slots__ = ("num_lanes", "busy", "steal", "overhead", "node", "hidden")
 
     KINDS = ("busy", "steal", "overhead")
 
@@ -65,6 +75,7 @@ class LaneSet:
         self.steal = [0.0] * lanes
         self.overhead = [0.0] * lanes
         self.node = [i * nodes // lanes for i in range(lanes)]
+        self.hidden = 0.0
 
     def node_of(self, lane: int) -> int:
         """NUMA node that ``lane`` is pinned to."""
@@ -163,6 +174,33 @@ class Clock:
         lane_set = LaneSet(lanes, nodes)
         yield lane_set
         self.charge(lane_set.critical_path)
+
+    @contextmanager
+    def concurrent(
+        self, lanes: int, nodes: int = 1, budget: float = 0.0
+    ) -> Iterator[LaneSet]:
+        """Open a parallel region racing already-elapsed mutator time.
+
+        Concurrent GC phases (G1's marking cycle) run while the
+        application executes, so their cost is invisible to the mutator
+        up to the mutator progress they overlap.  ``budget`` is that
+        overlap window — the ``Bucket.OTHER`` seconds accrued since the
+        phase conceptually started.  On clean exit only the part of the
+        critical path that *outruns* the budget is charged to the
+        current bucket/sub-bucket context; the hidden remainder is
+        recorded on the lane set (``lane_set.hidden``) so schedulers
+        can report it.  A region aborted by an exception charges
+        nothing, exactly like :meth:`parallel`.
+        """
+        if budget < 0:
+            raise ValueError(
+                f"concurrent budget must be >= 0, got {budget}"
+            )
+        lane_set = LaneSet(lanes, nodes)
+        yield lane_set
+        critical = lane_set.critical_path
+        lane_set.hidden = min(critical, budget)
+        self.charge(critical - lane_set.hidden)
 
     # ------------------------------------------------------------------
     # Charging

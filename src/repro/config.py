@@ -249,6 +249,22 @@ class G1Config:
     region_size: int = 32 * MB
     #: target fraction of the heap collected per mixed collection
     mixed_collection_fraction: float = 0.25
+    #: concurrent marking pool divisor: ``ConcGCThreads = ParallelGCThreads
+    #: / 4``, the paper's (and HotSpot's default) configuration.  The
+    #: marking cycle runs on this narrower lane set racing mutator
+    #: (``Bucket.OTHER``) progress; only marking that outruns the mutator
+    #: lands in the pause.
+    concurrent_divisor: int = 4
+    #: fraction of the marking work redone at the stop-the-world remark
+    #: pause closing a cycle (SATB buffer drain + re-scan of objects the
+    #: mutator touched while marking ran)
+    remark_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.concurrent_divisor < 1:
+            raise ConfigError("concurrent_divisor must be >= 1")
+        if not 0.0 <= self.remark_fraction < 1.0:
+            raise ConfigError("remark_fraction must be in [0, 1)")
 
 
 @dataclass

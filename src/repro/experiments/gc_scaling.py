@@ -10,7 +10,7 @@ so this sweep is the direct check that parallel GC behaves: speedup must
 grow with threads but stay sub-linear (termination protocol, steal
 overhead, and chunky tasks all tax wide pools).
 
-Three companion series exercise the adaptive scheduler:
+Four companion series exercise the adaptive scheduler:
 
 - **steal policies** — the sweep runs under both ``steal-one`` and
   ``steal-half``; schedules diverge (different steal counts) while the
@@ -21,6 +21,11 @@ Three companion series exercise the adaptive scheduler:
 - **adaptive batching** — static vs feedback-controlled batch sizes at
   wide worker counts; the controller shrinks batches when imbalance
   spikes and the reported cycle imbalance drops.
+- **G1 concurrent marking** — a mutator-intensity sweep on the G1
+  collector: marking races ``Bucket.OTHER`` progress on the concurrent
+  lane set, so the hidden share of marking rises with mutator work
+  between cycles, while a back-to-back major-GC stress run (no mutator
+  progress between cycles) hides essentially nothing.
 
 The workload contains no randomness (the only RNG in the stack is the
 engine's seeded victim selection), so a point's report is byte-identical
@@ -39,6 +44,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ..clock import Bucket
 from ..config import GCEngineConfig, TeraHeapConfig, VMConfig
 from ..runtime import JavaVM
 from ..units import KiB, gb
@@ -74,6 +80,18 @@ ADAPTIVE_THREADS = (8, 16)
 #: experiment-local shrink threshold: low enough that the 8-worker
 #: config (imbalance ~1.1 static) adapts too, not just the 16-worker one
 ADAPTIVE_SHRINK_THRESHOLD = 1.08
+
+#: G1 concurrent-marking series: mutator record-ops between majors
+G1_MUTATOR_INTENSITY = (0, 512, 2048, 8192)
+G1_ROUNDS = 6
+#: long-lived objects marking must traverse every cycle
+G1_RESIDENT = 180
+#: short-lived allocations per round (the only OTHER time at intensity 0)
+G1_FRESH_PER_ROUND = 16
+#: G1 runs at the paper's 8 parallel GC threads (2 concurrent lanes)
+G1_GC_THREADS = 8
+#: back-to-back majors of the stress run (no mutator progress between)
+G1_STRESS_MAJORS = 5
 
 
 @dataclass
@@ -529,19 +547,166 @@ def format_adaptive_points(points: List[AdaptivePoint]) -> str:
 
 
 # ======================================================================
+# G1 concurrent marking (mutator intensity vs hidden-marking share)
+# ======================================================================
+@dataclass
+class G1MarkingPoint:
+    """Concurrent-marking overlap at one mutator intensity.
+
+    ``hidden_s`` is the share of the concurrent-mark critical path that
+    raced mutator (``Bucket.OTHER``) progress and was never charged to a
+    pause; ``remark_s`` is the STW remark that always is.
+    """
+
+    label: str
+    mutator_ops: int
+    majors: int
+    mark_serial_s: float
+    mark_critical_s: float
+    hidden_s: float
+    remark_s: float
+    mutator_s: float
+
+    @property
+    def hidden_share(self) -> float:
+        """Fraction of the concurrent-mark critical path hidden behind
+        the mutator (1.0 = marking was free, 0.0 = fully paused)."""
+        if self.mark_critical_s <= 0.0:
+            return 0.0
+        return self.hidden_s / self.mark_critical_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "mutator_ops": self.mutator_ops,
+            "majors": self.majors,
+            "mark_serial_s": round(self.mark_serial_s, 9),
+            "mark_critical_s": round(self.mark_critical_s, 9),
+            "hidden_s": round(self.hidden_s, 9),
+            "remark_s": round(self.remark_s, 9),
+            "mutator_s": round(self.mutator_s, 9),
+            "hidden_share": round(self.hidden_share, 6),
+        }
+
+
+def _g1_vm() -> JavaVM:
+    """A G1 VM with a rooted resident set sized so each major's
+    concurrent mark has real traversal work."""
+    config = VMConfig(
+        heap_size=gb(8),
+        collector="g1",
+        gc_threads=G1_GC_THREADS,
+        engine=churn_engine_config(),
+    )
+    vm = JavaVM(config)
+    table = vm.roots.add(vm.allocate(64 * KiB, name="g1-table"))
+    for i in range(G1_RESIDENT):
+        obj = vm.allocate(OBJECT_SIZE, name=f"g1-res-{i}")
+        vm.write_ref(table, obj)
+    # Warmup major: consumes the OTHER time accrued during setup, so the
+    # measured cycles only see mutator progress from their own rounds.
+    vm.major_gc()
+    return vm
+
+
+def _measure_g1(vm: JavaVM, label: str, mutator_ops: int) -> G1MarkingPoint:
+    """Fold a G1 run's post-warmup majors into one marking point."""
+    majors = [c for c in vm.collector.stats.cycles if c.kind == "major"][1:]
+    serial = critical = hidden = remark = 0.0
+    for c in majors:
+        for rec in c.engine_phases:
+            if rec["phase"] == "g1-concurrent-mark":
+                serial += rec["serial_s"]
+                critical += rec["critical_s"]
+        hidden += c.concurrent_hidden
+        remark += c.remark_pause
+    return G1MarkingPoint(
+        label=label,
+        mutator_ops=mutator_ops,
+        majors=len(majors),
+        mark_serial_s=serial,
+        mark_critical_s=critical,
+        hidden_s=hidden,
+        remark_s=remark,
+        mutator_s=vm.clock.total(Bucket.OTHER),
+    )
+
+
+def run_g1_marking(mutator_ops: int, rounds: int = G1_ROUNDS) -> JavaVM:
+    """Alternate mutator work and major GCs at a fixed intensity.
+
+    Each round allocates a few short-lived records, runs ``mutator_ops``
+    record operations (``vm.compute``), and triggers a major GC, so the
+    concurrent mark of cycle N races exactly the mutator time of round N.
+    """
+    vm = _g1_vm()
+    for i in range(rounds):
+        for j in range(G1_FRESH_PER_ROUND):
+            vm.allocate(OBJECT_SIZE, name=f"g1-fresh-{i}-{j}")
+        if mutator_ops:
+            vm.compute(mutator_ops)
+        vm.major_gc()
+    return vm
+
+
+def run_g1_stress(majors: int = G1_STRESS_MAJORS) -> JavaVM:
+    """Back-to-back majors: zero mutator progress between cycles, so the
+    concurrent mark has nothing to hide behind."""
+    vm = _g1_vm()
+    for _ in range(majors):
+        vm.major_gc()
+    return vm
+
+
+def g1_marking_points(
+    intensities: Sequence[int] = G1_MUTATOR_INTENSITY,
+    rounds: int = G1_ROUNDS,
+) -> List[G1MarkingPoint]:
+    """The G1 series: one point per mutator intensity, plus the
+    back-to-back stress point."""
+    points = [
+        _measure_g1(run_g1_marking(ops, rounds=rounds), f"ops={ops}", ops)
+        for ops in intensities
+    ]
+    points.append(_measure_g1(run_g1_stress(), "stress", 0))
+    return points
+
+
+def format_g1_marking_points(points: List[G1MarkingPoint]) -> str:
+    lines = [
+        f"G1 gc_threads={G1_GC_THREADS} "
+        f"(concurrent lanes = gc_threads/4)",
+        "point      majors  mark_crit_s  hidden_s   hidden%  remark_s"
+        "  mutator_s",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.label:9s}  {p.majors:6d}  {p.mark_critical_s:11.6f}"
+            f"  {p.hidden_s:9.6f}  {p.hidden_share:6.1%}"
+            f"  {p.remark_s:8.6f}  {p.mutator_s:9.6f}"
+        )
+    return "\n".join(lines)
+
+
+# ======================================================================
 # Baseline regression gate (CI)
 # ======================================================================
 def baseline_payload(
-    by_policy: Dict[str, List[ScalingPoint]], batches: int
+    by_policy: Dict[str, List[ScalingPoint]],
+    batches: int,
+    g1_marking: Optional[List[G1MarkingPoint]] = None,
 ) -> Dict:
-    return {
-        "schema": 2,
+    payload: Dict = {
+        "schema": 3,
         "batches": batches,
         "policies": {
             policy: [p.to_dict() for p in points]
             for policy, points in sorted(by_policy.items())
         },
     }
+    if g1_marking is not None:
+        payload["g1_marking"] = [p.to_dict() for p in g1_marking]
+    return payload
 
 
 def payload_digest(payload: Dict) -> str:
@@ -611,6 +776,17 @@ def check_determinism(
     if payload_digest({"points": a1}) != payload_digest({"points": a2}):
         failures.append(
             "adaptive-batching digests differ across two runs"
+        )
+    g1_intensities = (0, 2048)
+    g1 = [
+        [p.to_dict() for p in g1_marking_points(g1_intensities, rounds=3)]
+        for _ in range(2)
+    ]
+    if payload_digest({"points": g1[0]}) != payload_digest(
+        {"points": g1[1]}
+    ):
+        failures.append(
+            "g1 concurrent-marking digests differ across two runs"
         )
     return failures
 
@@ -696,10 +872,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         ))
         print()
 
+    g1_rounds = 3 if args.smoke else G1_ROUNDS
+    g1_points = g1_marking_points(rounds=g1_rounds)
+    print("== G1 concurrent marking (hidden share vs mutator work) ==")
+    print(format_g1_marking_points(g1_points))
+    print()
+
     failures: List[str] = []
     if args.write_baseline:
         with open(args.write_baseline, "w") as f:
-            json.dump(baseline_payload(by_policy, batches), f, indent=2)
+            json.dump(
+                baseline_payload(by_policy, batches, g1_marking=g1_points),
+                f,
+                indent=2,
+            )
             f.write("\n")
         print(f"baseline written to {args.write_baseline}")
     if args.check_baseline:

@@ -36,8 +36,17 @@ class GCCycle:
     imbalance: float = 1.0
     #: sum of raw task costs — what one worker would have executed
     parallel_serial_seconds: float = 0.0
-    #: summed critical paths — what the pause was actually charged
+    #: summed critical paths — the engine's schedule length (concurrent
+    #: phases may hide part of this behind the mutator, see
+    #: ``concurrent_hidden``)
     parallel_seconds: float = 0.0
+    #: critical-path seconds hidden behind mutator overlap: concurrent
+    #: marking work that raced ``Bucket.OTHER`` progress and charged
+    #: nothing to the pause
+    concurrent_hidden: float = 0.0
+    #: the stop-the-world remark pause closing a concurrent marking
+    #: cycle (G1 only; 0 for collectors without concurrent phases)
+    remark_pause: float = 0.0
     worker_busy: List[float] = field(default_factory=list)
     worker_idle: List[float] = field(default_factory=list)
     worker_steals: List[int] = field(default_factory=list)
@@ -117,6 +126,21 @@ class GCStats:
             ),
             "grows": sum(1 for c in self.cycles if c.batch_action == "grow"),
         }
+
+    def total_concurrent_hidden(self, kind: str = "") -> float:
+        """Marking seconds hidden behind the mutator across cycles."""
+        return sum(
+            c.concurrent_hidden
+            for c in self.cycles
+            if not kind or c.kind == kind
+        )
+
+    def total_remark_pause(self, kind: str = "") -> float:
+        return sum(
+            c.remark_pause
+            for c in self.cycles
+            if not kind or c.kind == kind
+        )
 
     def total_idle(self, kind: str = "") -> float:
         return sum(
@@ -198,6 +222,7 @@ class Collector:
         cycle.imbalance = summary.imbalance
         cycle.parallel_serial_seconds = summary.serial_seconds
         cycle.parallel_seconds = summary.parallel_seconds
+        cycle.concurrent_hidden = summary.hidden_seconds
         cycle.worker_busy = summary.worker_busy
         cycle.worker_idle = summary.worker_idle
         cycle.worker_steals = summary.worker_steals

@@ -72,6 +72,9 @@ class PhaseExecution:
     imbalance: float
     remote_steals: int = 0
     stolen_tasks: int = 0
+    #: critical-path seconds hidden behind mutator overlap (concurrent
+    #: phases only; stop-the-world phases leave this at 0)
+    hidden_seconds: float = 0.0
     per_worker: List[WorkerStats] = field(default_factory=list)
 
     @property
@@ -79,6 +82,11 @@ class PhaseExecution:
         if self.critical_path <= 0.0:
             return 1.0
         return self.serial_seconds / self.critical_path
+
+    @property
+    def charged_seconds(self) -> float:
+        """What the pause actually paid: critical path minus overlap."""
+        return self.critical_path - self.hidden_seconds
 
     def stat_record(self) -> Dict[str, Any]:
         """Compact per-phase stats for trace exporters and CSVs."""
@@ -90,6 +98,7 @@ class PhaseExecution:
             "remote_steals": self.remote_steals,
             "serial_s": round(self.serial_seconds, 9),
             "critical_s": round(self.critical_path, 9),
+            "hidden_s": round(self.hidden_seconds, 9),
             "idle_s": round(self.idle_seconds, 9),
             "imbalance": round(self.imbalance, 6),
         }
@@ -105,6 +114,8 @@ class ParallelCycleSummary:
     remote_steals: int = 0
     serial_seconds: float = 0.0
     parallel_seconds: float = 0.0
+    #: summed concurrent overlap — critical-path time never charged
+    hidden_seconds: float = 0.0
     idle_seconds: float = 0.0
     overhead_seconds: float = 0.0
     imbalance: float = 1.0
@@ -135,6 +146,7 @@ def summarize_executions(
         summary.remote_steals += ex.remote_steals
         summary.serial_seconds += ex.serial_seconds
         summary.parallel_seconds += ex.critical_path
+        summary.hidden_seconds += ex.hidden_seconds
         summary.idle_seconds += ex.idle_seconds
         phase_active = 0.0
         for ws in ex.per_worker:
@@ -191,6 +203,7 @@ class GCTaskEngine:
         self.total_steals = 0
         self.total_remote_steals = 0
         self.total_phases = 0
+        self.total_hidden_seconds = 0.0
 
     # ------------------------------------------------------------------
     def run(
@@ -198,6 +211,7 @@ class GCTaskEngine:
         tasks: Iterable[GCTask],
         phase: str,
         workers: Optional[int] = None,
+        concurrent_budget: Optional[float] = None,
     ) -> PhaseExecution:
         """Execute ``tasks`` on ``workers`` lanes; charge the critical path.
 
@@ -207,6 +221,12 @@ class GCTaskEngine:
         size: a phase can narrow its parallelism (stripe ownership,
         single-threaded old gen) but never run on more lanes than the
         engine has threads.
+
+        With ``concurrent_budget`` set, the phase runs on a *concurrent*
+        lane set (:meth:`Clock.concurrent`): its critical path races the
+        given seconds of already-elapsed mutator time, only the overrun
+        is charged to the pause, and the hidden part is reported as
+        ``PhaseExecution.hidden_seconds``.
         """
         task_list = list(tasks)
         requested = (
@@ -243,7 +263,13 @@ class GCTaskEngine:
         remote_premium = getattr(self.cost, "gc_numa_remote_premium", 0.0)
         steal_half = self.steal_policy == "steal-half"
         t0 = self.clock.now
-        with self.clock.parallel(n, nodes=self.numa_nodes) as lanes:
+        if concurrent_budget is None:
+            region = self.clock.parallel(n, nodes=self.numa_nodes)
+        else:
+            region = self.clock.concurrent(
+                n, nodes=self.numa_nodes, budget=concurrent_budget
+            )
+        with region as lanes:
             remaining = len(task_list)
             while remaining:
                 w = min(range(n), key=lambda i: (lanes.lane_time(i), i))
@@ -318,11 +344,13 @@ class GCTaskEngine:
             imbalance=imbalance,
             remote_steals=sum(s.remote_steals for s in stats),
             stolen_tasks=sum(s.tasks_stolen for s in stats),
+            hidden_seconds=lanes.hidden,
             per_worker=stats,
         )
         self.total_tasks += execution.tasks
         self.total_steals += execution.steals
         self.total_remote_steals += execution.remote_steals
         self.total_phases += 1
+        self.total_hidden_seconds += execution.hidden_seconds
         self.phase_log.append(execution.stat_record())
         return execution

@@ -241,6 +241,16 @@ class G1Collector(Collector):
         self.remset_objects: Dict[int, HeapObject] = {}
         # G1 parallel GC threads (the paper configures 8).
         self._workers = min(config.gc_threads, 8)
+        # Concurrent marking pool: ConcGCThreads = ParallelGCThreads / 4
+        # (the paper's configuration; HotSpot's default).
+        self._concurrent_workers = max(
+            1, self._workers // config.g1.concurrent_divisor
+        )
+        #: Bucket.OTHER total at the end of the last concurrent marking
+        #: cycle — the start of the next cycle's overlap window.  Each
+        #: mutator second can hide at most one cycle's marking.
+        self._concurrent_baseline = 0.0
+        self._last_remark_pause = 0.0
         self.engine = GCTaskEngine(
             clock,
             config.cost,
@@ -350,19 +360,29 @@ class G1Collector(Collector):
             promoted = [o for o in live if o.age + 1 >= self.config.tenuring_threshold]
             for obj in live:
                 obj.age += 1
-            ok = self._evacuate(survivors, RegionState.SURVIVOR)
-            ok = ok and self._evacuate(promoted, RegionState.OLD)
+            # Both evacuations run even if the first fails: real G1
+            # keeps copying into whatever regions remain (and pays the
+            # copy cost) before declaring the scavenge failed.
+            survivors_ok = self._evacuate(survivors, RegionState.SURVIVOR)
+            promoted_ok = self._evacuate(promoted, RegionState.OLD)
             # Promotion creates old-to-young references no barrier saw;
             # real G1 updates remembered sets during evacuation.
             for obj in promoted:
                 if any(r.in_young for r in obj.refs):
                     self.remset_sources.add(obj.oid)
                     self.remset_objects[obj.oid] = obj
-            if not ok:
+            full_duration = 0.0
+            if not (survivors_ok and promoted_ok):
                 # Evacuation failure: fall back to a full collection.
+                # The fallback is major-GC work — it must not inflate
+                # the scavenge pause or the MINOR_GC bucket.
                 self.clock.record_event("evacuation_failure", 0.0)
-                self._full_collection()
-            duration = self.clock.now - start
+                full_start = self.clock.now
+                with self.clock.context(Bucket.MAJOR_GC):
+                    self._full_collection()
+                full_duration = self.clock.now - full_start
+                self.clock.record_event("full_gc", full_duration)
+            duration = self.clock.now - start - full_duration
             cycle = GCCycle(
                 kind="minor",
                 start_time=start,
@@ -377,7 +397,18 @@ class G1Collector(Collector):
 
     # ------------------------------------------------------------------
     def _mark_all(self, epoch: int) -> List[HeapObject]:
-        """Concurrent marking: CPU cost partially hidden behind mutators."""
+        """Concurrent marking racing the mutator, closed by a STW remark.
+
+        The marking scan is decomposed at *full* per-object cost and
+        scheduled on the concurrent lane set (``ConcGCThreads =
+        ParallelGCThreads / concurrent_divisor``, the paper's
+        configuration).  The lanes race the ``Bucket.OTHER`` time the
+        mutator accrued since the previous cycle ended: marking up to
+        that overlap charges nothing to the pause, and only the
+        remainder — marking that outruns the mutator — lands in
+        ``Bucket.MAJOR_GC``.  The final remark (SATB drain plus root
+        re-scan) is a stop-the-world phase on the full worker pool.
+        """
         cost = self.cost
         bag = TaskBag()
         mark = bag.batcher(
@@ -391,22 +422,52 @@ class G1Collector(Collector):
                 continue
             obj.mark_epoch = epoch
             live.append(obj)
-            # Roughly half the marking runs concurrently with the
-            # application (the paper's configuration: concurrent threads
-            # = parallel / 4), so only half of each object's cost lands
-            # in the pause the engine schedules.
             mark.add(
-                0.5
-                * (
-                    cost.gc_visit_cost * obj.scan_factor
-                    + cost.gc_ref_cost * len(obj.refs)
-                )
+                cost.gc_visit_cost * obj.scan_factor
+                + cost.gc_ref_cost * len(obj.refs)
             )
             for ref in obj.refs:
                 if ref.mark_epoch < epoch:
                     stack.append(ref)
         mark.flush()
-        self._run_phase(bag, "g1-concurrent-mark")
+        other_now = self.clock.total(Bucket.OTHER)
+        budget = max(0.0, other_now - self._concurrent_baseline)
+        execution = self.engine.run(
+            bag,
+            "g1-concurrent-mark",
+            workers=self._concurrent_workers,
+            concurrent_budget=budget,
+        )
+        self.note_execution(execution)
+        # Consume the overlap window: the next cycle only hides behind
+        # mutator progress made after this one.
+        self._concurrent_baseline = other_now
+
+        # STW remark: re-examine the roots and drain the SATB-logged
+        # fraction of the marking work on the full (paused) pool.
+        remark_bag = TaskBag()
+        rescan = remark_bag.batcher(
+            "g1-remark-roots", "root", self.batch.scan_batch_objects
+        )
+        for _ in self.roots:
+            rescan.add(cost.gc_root_scan_cost)
+        rescan.flush()
+        fraction = self.config.g1.remark_fraction
+        if fraction > 0.0:
+            satb = remark_bag.batcher(
+                "g1-remark-satb", "scan", self.batch.scan_batch_objects
+            )
+            for obj in live:
+                satb.add(
+                    fraction
+                    * (
+                        cost.gc_visit_cost * obj.scan_factor
+                        + cost.gc_ref_cost * len(obj.refs)
+                    )
+                )
+            satb.flush()
+        remark = self._run_phase(remark_bag, "g1-remark")
+        self._last_remark_pause = remark.critical_path
         return live
 
     def major_gc(self) -> GCCycle:
@@ -458,6 +519,7 @@ class G1Collector(Collector):
                 live_bytes=live_bytes,
             )
             self.apply_parallel_stats(cycle, self._workers)
+            cycle.remark_pause = self._last_remark_pause
             self.stats.record(cycle)
             self.clock.record_event("major_gc", duration)
             return cycle
@@ -481,7 +543,13 @@ class G1Collector(Collector):
                 continue
             obj.mark_epoch = epoch
             live.append(obj)
-            mark.add(cost.gc_visit_cost + cost.gc_ref_cost * len(obj.refs))
+            # Scan cost honours the object's scan factor, consistent
+            # with _trace_young and _mark_all: full GCs must not
+            # under-charge scan-heavy objects.
+            mark.add(
+                cost.gc_visit_cost * obj.scan_factor
+                + cost.gc_ref_cost * len(obj.refs)
+            )
             stack.extend(r for r in obj.refs if r.mark_epoch < epoch)
         mark.flush()
         # Compact every non-humongous live object into fresh old regions.

@@ -19,17 +19,18 @@ from ..teraheap.regions import RegionLiveness
 def engine_phase_detail(cycle: GCCycle) -> str:
     """One cycle's per-phase engine stats, folded into a CSV-safe cell.
 
-    ``phase:workers:tasks:steals:remote_steals:idle_s:imbalance`` per
-    phase execution, ``|``-joined in execution order.
+    ``phase:workers:tasks:steals:remote_steals:hidden_s:idle_s:
+    imbalance`` per phase execution, ``|``-joined in execution order.
     """
     return "|".join(
         "{phase}:{workers}:{tasks}:{steals}:{remote_steals}:"
-        "{idle:.6f}:{imb:.4f}".format(
+        "{hidden:.6f}:{idle:.6f}:{imb:.4f}".format(
             phase=p["phase"],
             workers=p["workers"],
             tasks=p["tasks"],
             steals=p["steals"],
             remote_steals=p["remote_steals"],
+            hidden=p.get("hidden_s", 0.0),
             idle=p["idle_s"],
             imb=p["imbalance"],
         )
@@ -63,6 +64,8 @@ def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
             "imbalance",
             "parallel_speedup",
             "batch_scale",
+            "concurrent_hidden_s",
+            "remark_pause_s",
             "engine_phases",
         ]
     )
@@ -89,6 +92,8 @@ def gc_timeline_csv(cycles: Iterable[GCCycle]) -> str:
                 f"{c.imbalance:.4f}",
                 f"{c.parallel_speedup:.4f}",
                 f"{c.batch_scale:.4f}",
+                f"{c.concurrent_hidden:.6f}",
+                f"{c.remark_pause:.6f}",
                 engine_phase_detail(c),
             ]
         )

@@ -180,6 +180,56 @@ def test_parallel_single_lane_is_serial():
     assert clock.now == pytest.approx(3.0)
 
 
+def test_concurrent_fully_hidden_within_budget():
+    """A concurrent region whose critical path fits inside the mutator
+    budget charges nothing: the marking raced (and lost to) the mutator."""
+    clock = Clock()
+    with clock.context(Bucket.MAJOR_GC):
+        with clock.concurrent(2, budget=5.0) as lanes:
+            lanes.advance(0, 2.0)
+            lanes.advance(1, 1.5)
+    assert lanes.hidden == pytest.approx(2.0)
+    assert clock.now == 0.0
+    assert clock.total(Bucket.MAJOR_GC) == 0.0
+
+
+def test_concurrent_zero_budget_behaves_like_parallel():
+    clock = Clock()
+    with clock.context(Bucket.MAJOR_GC):
+        with clock.concurrent(2, budget=0.0) as lanes:
+            lanes.advance(0, 3.0)
+            lanes.advance(1, 1.0)
+    assert lanes.hidden == 0.0
+    assert clock.total(Bucket.MAJOR_GC) == pytest.approx(3.0)
+
+
+def test_concurrent_partial_budget_charges_the_overrun():
+    clock = Clock()
+    with clock.context(Bucket.MINOR_GC):
+        with clock.concurrent(2, budget=1.25) as lanes:
+            lanes.advance(0, 2.0)
+    assert lanes.hidden == pytest.approx(1.25)
+    assert clock.total(Bucket.MINOR_GC) == pytest.approx(0.75)
+    assert clock.now == pytest.approx(0.75)
+
+
+def test_concurrent_rejects_negative_budget():
+    clock = Clock()
+    with pytest.raises(ValueError, match="budget"):
+        with clock.concurrent(2, budget=-0.1):
+            pass
+
+
+def test_concurrent_charges_nothing_on_exception_exit():
+    clock = Clock()
+    with pytest.raises(RuntimeError):
+        with clock.concurrent(2, budget=0.0) as lanes:
+            lanes.advance(0, 4.0)
+            raise RuntimeError("crash mid-mark")
+    assert clock.now == 0.0
+    assert lanes.hidden == 0.0
+
+
 def test_parallel_charges_nothing_on_exception_exit():
     """A parallel region aborted mid-phase (a simulated crash at a GC
     safepoint) must not charge the partial critical path: recovery

@@ -3,7 +3,8 @@
 import pytest
 
 from repro import JavaVM, OutOfMemoryError, VMConfig, gb
-from repro.config import G1Config
+from repro.clock import Bucket
+from repro.config import ConfigError, CostModel, G1Config
 from repro.gc.g1 import G1Heap, RegionState
 from repro.heap.object_model import HeapObject, SpaceId
 from repro.units import KiB
@@ -150,3 +151,197 @@ class TestG1Collector:
         )
         # Only up to the mixed-collection fraction of regions moves.
         assert unmoved >= len(roots) // 2
+
+
+def marking_vm(gc_threads=8, resident=60, **g1_kwargs):
+    """A G1 VM with a rooted resident set and a consumed warmup cycle."""
+    vm = JavaVM(
+        VMConfig(
+            heap_size=gb(4),
+            collector="g1",
+            gc_threads=gc_threads,
+            g1=G1Config(**g1_kwargs) if g1_kwargs else G1Config(),
+        )
+    )
+    table = vm.roots.add(vm.allocate(16 * KiB))
+    for _ in range(resident):
+        vm.write_ref(table, vm.allocate(8 * KiB))
+    vm.major_gc()  # consumes the setup-allocation overlap window
+    return vm
+
+
+def mark_phase_critical(cycle) -> float:
+    return sum(
+        rec["critical_s"]
+        for rec in cycle.engine_phases
+        if rec["phase"] == "g1-concurrent-mark"
+    )
+
+
+def run_major(vm):
+    """vm.major_gc() plus the cycle it recorded (the VM wrapper
+    returns None)."""
+    vm.major_gc()
+    return vm.collector.stats.cycles[-1]
+
+
+class TestConcurrentMarking:
+    def test_mutator_heavy_cycle_hides_a_majority_of_marking(self):
+        vm = marking_vm()
+        vm.compute(50_000)  # plenty of Bucket.OTHER to race against
+        cycle = run_major(vm)
+        critical = mark_phase_critical(cycle)
+        assert critical > 0.0
+        assert cycle.concurrent_hidden > 0.5 * critical
+        stats = vm.collector.stats
+        assert stats.total_concurrent_hidden("major") >= (
+            cycle.concurrent_hidden
+        )
+
+    def test_back_to_back_majors_hide_nothing(self):
+        vm = marking_vm()
+        vm.major_gc()  # drains whatever window remained
+        cycle = run_major(vm)  # no mutator progress since the last cycle
+        assert mark_phase_critical(cycle) > 0.0
+        assert cycle.concurrent_hidden == 0.0
+
+    def test_remark_is_a_pause_charged_to_major_gc(self):
+        vm = marking_vm()
+        vm.compute(50_000)
+        major_before = vm.clock.total(Bucket.MAJOR_GC)
+        cycle = run_major(vm)
+        major_delta = vm.clock.total(Bucket.MAJOR_GC) - major_before
+        # Hidden marking never lands in any bucket: the major bucket
+        # only grows by the cycle's charged duration, remark included.
+        assert major_delta == pytest.approx(cycle.duration)
+        assert cycle.remark_pause > 0.0
+        assert cycle.remark_pause <= cycle.duration
+        assert vm.collector.stats.total_remark_pause("major") >= (
+            cycle.remark_pause
+        )
+
+    def test_hidden_marking_shortens_the_pause(self):
+        """The same heap shape pauses longer when there is no mutator
+        window to hide the marking in."""
+        idle = marking_vm()
+        idle.major_gc()  # drain the window
+        paused = run_major(idle)
+        busy = marking_vm()
+        busy.major_gc()
+        busy.compute(50_000)
+        hidden = run_major(busy)
+        assert hidden.duration < paused.duration
+        assert hidden.concurrent_hidden > 0.0
+
+    def test_concurrent_pool_is_a_quarter_of_the_parallel_pool(self):
+        vm = marking_vm(gc_threads=8)
+        cycle = run_major(vm)
+        recs = [
+            r for r in cycle.engine_phases
+            if r["phase"] == "g1-concurrent-mark"
+        ]
+        assert recs and all(r["workers"] == 2 for r in recs)
+
+    def test_concurrent_divisor_is_configurable(self):
+        vm = marking_vm(gc_threads=8, concurrent_divisor=8)
+        cycle = run_major(vm)
+        recs = [
+            r for r in cycle.engine_phases
+            if r["phase"] == "g1-concurrent-mark"
+        ]
+        assert recs and all(r["workers"] == 1 for r in recs)
+
+    def test_remark_fraction_zero_still_rescans_roots(self):
+        vm = marking_vm(remark_fraction=0.0)
+        cycle = run_major(vm)
+        assert cycle.remark_pause > 0.0
+        recs = {r["phase"] for r in cycle.engine_phases}
+        assert "g1-remark" in recs
+
+    def test_g1_config_validates_concurrent_knobs(self):
+        with pytest.raises(ConfigError):
+            G1Config(concurrent_divisor=0)
+        with pytest.raises(ConfigError):
+            G1Config(remark_fraction=1.0)
+        with pytest.raises(ConfigError):
+            G1Config(remark_fraction=-0.1)
+
+
+class TestAccountingFixes:
+    """The three attribution bugs: evacuation-failure bucket, full-GC
+    scan factor, short-circuited evacuations."""
+
+    def _exhausted_vm(self):
+        """A tiny heap one scavenge away from evacuation failure: live
+        eden objects (some tenured) and zero free regions."""
+        vm = JavaVM(
+            VMConfig(
+                heap_size=16 * 32 * KiB,
+                collector="g1",
+                g1=G1Config(region_size=32 * KiB),
+            )
+        )
+        threshold = vm.config.tenuring_threshold
+        for i in range(4):
+            obj = vm.roots.add(vm.allocate(4 * KiB, name=f"live-{i}"))
+            if i % 2:
+                obj.age = threshold  # promotes on the next scavenge
+        for region in vm.heap.regions:
+            if region.state is RegionState.FREE:
+                region.state = RegionState.OLD
+        return vm
+
+    def test_evacuation_failure_full_gc_charged_to_major(self):
+        vm = self._exhausted_vm()
+        minor_before = vm.clock.total(Bucket.MINOR_GC)
+        major_before = vm.clock.total(Bucket.MAJOR_GC)
+        vm.minor_gc()
+        cycle = vm.collector.stats.cycles[-1]
+        assert vm.collector.full_collections == 1
+        minor_delta = vm.clock.total(Bucket.MINOR_GC) - minor_before
+        major_delta = vm.clock.total(Bucket.MAJOR_GC) - major_before
+        # The fallback full collection is major-GC work: the scavenge
+        # cycle and the MINOR_GC bucket exclude it entirely.
+        assert major_delta > 0.0
+        assert minor_delta == pytest.approx(cycle.duration)
+        events = {name: dur for _, name, dur in vm.clock.events}
+        assert "evacuation_failure" in events
+        assert events["full_gc"] == pytest.approx(major_delta)
+
+    def test_evacuation_failure_attempts_both_evacuations(self):
+        vm = self._exhausted_vm()
+        calls = []
+        original = vm.collector._evacuate
+
+        def spy(objects, state):
+            calls.append((state, len(objects)))
+            return original(objects, state)
+
+        vm.collector._evacuate = spy
+        vm.minor_gc()
+        # Survivor evacuation fails, but the promotion copy still runs
+        # (real G1 pays for both before declaring the scavenge failed).
+        assert calls[0] == (RegionState.SURVIVOR, 2)
+        assert calls[1] == (RegionState.OLD, 2)
+
+    def _full_mark_serial(self, scan_factor):
+        vm = JavaVM(VMConfig(heap_size=gb(4), collector="g1"))
+        obj = vm.roots.add(vm.allocate(1024))
+        obj.scan_factor = scan_factor
+        collector = vm.collector
+        collector.begin_parallel_cycle()
+        with vm.clock.context(Bucket.MAJOR_GC):
+            collector._full_collection()
+        recs = [
+            r for r in collector.engine.phase_log
+            if r["phase"] == "g1-full-mark"
+        ]
+        assert recs
+        return recs[-1]["serial_s"]
+
+    def test_full_collection_mark_cost_includes_scan_factor(self):
+        base = self._full_mark_serial(1)
+        heavy = self._full_mark_serial(4)
+        # Only the root object's scan factor differs: the full-GC mark
+        # must charge the extra 3 visit-costs it used to drop.
+        assert heavy - base == pytest.approx(3 * CostModel().gc_visit_cost)

@@ -266,7 +266,7 @@ def test_scaling_baseline_gate():
     assert points[0].total_pause_s > 0.0, "churn run must trigger GC"
     by_policy = {"steal-one": points}
     payload = gc_scaling.baseline_payload(by_policy, batches=10)
-    assert payload["schema"] == 2
+    assert payload["schema"] == 3
     assert gc_scaling.check_baseline(by_policy, payload) == []
     shrunk = json.loads(json.dumps(payload))
     shrunk["policies"]["steal-one"][0]["total_pause_s"] /= 2.0
@@ -376,6 +376,73 @@ def test_explicit_workers_can_narrow_the_pool():
         bag.add(f"t{i}", 0.01)
     execution = engine.run(bag, "phase", workers=3)
     assert execution.workers == 3
+
+
+# ======================================================================
+# Concurrent lane set (tentpole: marking races the mutator budget)
+# ======================================================================
+def test_concurrent_budget_hides_up_to_the_critical_path():
+    clock = Clock()
+    engine = make_engine(workers=4, clock=clock)
+    bag = TaskBag()
+    for i in range(16):
+        bag.add(f"t{i}", 0.01)
+    with clock.context(Bucket.MAJOR_GC):
+        execution = engine.run(bag, "mark", concurrent_budget=100.0)
+    assert execution.hidden_seconds == pytest.approx(
+        execution.critical_path
+    )
+    assert execution.charged_seconds == pytest.approx(0.0)
+    assert clock.total(Bucket.MAJOR_GC) == pytest.approx(0.0)
+    assert engine.total_hidden_seconds == pytest.approx(
+        execution.hidden_seconds
+    )
+    assert execution.stat_record()["hidden_s"] == pytest.approx(
+        execution.hidden_seconds
+    )
+
+
+def test_concurrent_budget_charges_only_the_overrun():
+    clock = Clock()
+    engine = make_engine(workers=1, clock=clock)
+    bag = TaskBag()
+    bag.add("t", 1.0)
+    with clock.context(Bucket.MAJOR_GC):
+        execution = engine.run(bag, "mark", concurrent_budget=0.25)
+    assert execution.hidden_seconds == pytest.approx(0.25)
+    assert clock.total(Bucket.MAJOR_GC) == pytest.approx(
+        execution.critical_path - 0.25
+    )
+
+
+def test_plain_runs_hide_nothing():
+    clock = Clock()
+    engine = make_engine(workers=2, clock=clock)
+    bag = TaskBag()
+    bag.add("t", 1.0)
+    execution = engine.run(bag, "phase")
+    assert execution.hidden_seconds == 0.0
+    assert execution.charged_seconds == pytest.approx(
+        execution.critical_path
+    )
+    assert engine.total_hidden_seconds == 0.0
+
+
+def test_summary_accumulates_hidden_seconds():
+    from repro.gc.engine.engine import summarize_executions
+
+    clock = Clock()
+    engine = make_engine(workers=2, clock=clock)
+    execs = []
+    for budget in (100.0, None):
+        bag = TaskBag()
+        bag.add("t", 0.5)
+        execs.append(engine.run(bag, "mark", concurrent_budget=budget))
+    summary = summarize_executions(execs, workers=2)
+    assert summary.hidden_seconds == pytest.approx(
+        execs[0].hidden_seconds
+    )
+    assert summary.hidden_seconds > 0.0
 
 
 # ======================================================================
@@ -645,7 +712,8 @@ def test_cycles_carry_per_phase_engine_stats():
         for rec in cycle.engine_phases:
             assert set(rec) == {
                 "phase", "workers", "tasks", "steals", "remote_steals",
-                "serial_s", "critical_s", "idle_s", "imbalance",
+                "serial_s", "critical_s", "hidden_s", "idle_s",
+                "imbalance",
             }
         assert sum(r["tasks"] for r in cycle.engine_phases) == (
             cycle.tasks_executed
@@ -657,7 +725,10 @@ def test_timeline_csv_has_engine_phase_columns():
     vm = gc_scaling.run_churn(2, batches=6)
     text = gc_timeline_csv(vm.collector.stats.cycles)
     header = text.splitlines()[0].split(",")
-    for col in ("remote_steals", "batch_scale", "engine_phases"):
+    for col in (
+        "remote_steals", "batch_scale", "concurrent_hidden_s",
+        "remark_pause_s", "engine_phases",
+    ):
         assert col in header
     assert "minor-copy:" in text
 
@@ -669,9 +740,35 @@ def test_chrome_trace_other_data_has_phase_stats():
     assert other["stealPolicy"] == "steal-one"
     assert other["numaNodes"] == 1
     assert other["remoteSteals"] == 0
+    assert other["concurrentHidden"] == 0.0  # PS has no concurrent phase
     stats = other["phaseStats"]
     assert len(stats) == vm.collector.engine.total_phases
     assert sum(r["tasks"] for r in stats) == vm.collector.engine.total_tasks
+
+
+# ======================================================================
+# G1 concurrent-marking series (tentpole: hidden share vs mutator work)
+# ======================================================================
+def test_g1_marking_hidden_share_rises_with_mutator_work():
+    points = gc_scaling.g1_marking_points((0, 2048), rounds=2)
+    by_label = {p.label: p for p in points}
+    low = by_label["ops=0"]
+    high = by_label["ops=2048"]
+    stress = by_label["stress"]
+    # Mutator-heavy rounds hide a majority of the marking...
+    assert high.hidden_share > 0.5
+    assert high.hidden_share > low.hidden_share
+    # ...while back-to-back majors have no window to hide behind.
+    assert stress.mark_critical_s > 0.0
+    assert stress.hidden_share == 0.0
+    # The remark is a real pause in every configuration.
+    assert all(p.remark_s > 0.0 for p in points)
+
+
+def test_g1_marking_series_deterministic():
+    a = [p.to_dict() for p in gc_scaling.g1_marking_points((512,), rounds=2)]
+    b = [p.to_dict() for p in gc_scaling.g1_marking_points((512,), rounds=2)]
+    assert a == b
 
 
 # ======================================================================
