@@ -28,6 +28,7 @@ from . import faults as faults_mod
 from .faults.plan import FaultConfig
 from .experiments import (
     barrier,
+    brownout,
     chaoskill,
     fig06,
     fig07,
@@ -57,6 +58,7 @@ EXPERIMENTS = [
     "fig13b",
     "gcscale",
     "chaoskill",
+    "brownout",
 ]
 
 
@@ -192,6 +194,11 @@ def main(argv=None) -> int:
         if args.fault_seed is not None:
             chaos_args.extend(["--fault-seed", str(args.fault_seed)])
         status = chaoskill.main(chaos_args)
+    elif args.experiment == "brownout":
+        brownout_args = ["--check", "--check-determinism"]
+        if args.scale < 1.0:
+            brownout_args.append("--smoke")
+        status = brownout.main(brownout_args)
     elif args.experiment == "fig13b":
         results = fig13.run_dataset_scaling(scale=args.scale)
         for workload, per_system in results.items():

@@ -39,6 +39,10 @@ class Bucket(enum.Enum):
     SD_IO = "sd_io"
     MINOR_GC = "minor_gc"
     MAJOR_GC = "major_gc"
+    #: mutator allocation stalls under emergency backpressure — the wait
+    #: a thread spends parked while the VM sheds cache and runs
+    #: emergency full GCs instead of dying with an OOM
+    ALLOC_STALL = "alloc_stall"
 
 
 class LaneSet:

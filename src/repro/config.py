@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .devices.health import HealthConfig
 from .errors import ConfigError
 from .faults.plan import FaultConfig
 from .units import GB, KiB, MB, MiB
@@ -243,6 +244,54 @@ class GCEngineConfig:
 
 
 @dataclass
+class GovernorConfig:
+    """Device-health watchdog + H2 circuit breaker + backpressure knobs.
+
+    Lives here (not in :mod:`repro.teraheap.governor`) so it can hang off
+    :class:`VMConfig` without an import cycle through the teraheap
+    package.
+    """
+
+    enabled: bool = True
+    #: health-classification knobs of the device watchdog
+    health: HealthConfig = field(default_factory=HealthConfig)
+    #: unhinted-budget multiplier while the circuit is DEGRADED
+    degraded_budget_scale: float = 0.5
+    #: hinted-transfer byte cap while OPEN (outside probe windows)
+    open_hinted_cap: int = 0
+    #: hinted-byte budget granted to a half-open probe cycle
+    probe_bytes: int = 64 * KiB
+    #: initial delay before the first half-open probe (simulated seconds)
+    probe_backoff: float = 5e-3
+    probe_backoff_factor: float = 2.0
+    probe_backoff_max: float = 160e-3
+    #: clean DEGRADED transfer cycles required to fully close the circuit
+    close_streak: int = 2
+    #: H1 occupancy at which an OPEN circuit arms emergency backpressure
+    emergency_watermark: float = 0.85
+    #: simulated seconds one allocation-stall round parks the mutator
+    alloc_stall_wait: float = 2e-3
+    #: shed/stall/GC rounds before declaring true exhaustion (OOM)
+    max_emergency_rounds: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degraded_budget_scale <= 1.0:
+            raise ConfigError("degraded_budget_scale must be in (0, 1]")
+        if self.open_hinted_cap < 0 or self.probe_bytes < 0:
+            raise ConfigError("byte caps must be non-negative")
+        if self.probe_backoff <= 0 or self.probe_backoff_factor < 1.0:
+            raise ConfigError("probe backoff must grow from a positive base")
+        if self.probe_backoff_max < self.probe_backoff:
+            raise ConfigError("probe_backoff_max must be >= probe_backoff")
+        if self.close_streak < 1:
+            raise ConfigError("close_streak must be >= 1")
+        if not 0.0 < self.emergency_watermark <= 1.0:
+            raise ConfigError("emergency_watermark must be in (0, 1]")
+        if self.max_emergency_rounds < 1:
+            raise ConfigError("max_emergency_rounds must be >= 1")
+
+
+@dataclass
 class G1Config:
     """Garbage-First collector parameters (Figure 8 baseline)."""
 
@@ -307,6 +356,10 @@ class VMConfig:
     #: injection unless a process-global default is installed via
     #: :func:`repro.faults.set_default_fault_config`
     faults: Optional[FaultConfig] = None
+    #: device-health watchdog + H2 governor; ``None`` disables the
+    #: governor unless a process-global default is installed via
+    #: :func:`repro.faults.set_default_governor_config`
+    governor: Optional[GovernorConfig] = None
     #: post-GC invariant auditing: ``None`` (off), "cheap" or "full";
     #: overridable by the ``REPRO_AUDIT`` environment variable
     audit: Optional[str] = None

@@ -15,6 +15,9 @@ class OutOfMemoryError(ReproError):
     to render the paper's "OOM" bars.  When the VM has fallen back to the
     in-H1 serialization path after H2 degradation, ``context`` carries the
     fallback description so OOM reports name the degraded configuration.
+    ``heap_report`` carries the VM's diagnostic heap report (occupancy,
+    H2 state, governor circuit state, backpressure counters) so a modeled
+    OOM is actionable rather than a bare message.
     """
 
     def __init__(
@@ -23,11 +26,13 @@ class OutOfMemoryError(ReproError):
         requested: int = 0,
         available: int = 0,
         context: str = "",
+        heap_report: str = "",
     ):
         super().__init__(message)
         self.requested = requested
         self.available = available
         self.context = context
+        self.heap_report = heap_report
 
 
 class SegmentationFault(ReproError):

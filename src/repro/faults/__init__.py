@@ -23,12 +23,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from .events import (
+    CircuitEvent,
     CrashEvent,
     DegradationEvent,
     FaultEvent,
+    HealthEvent,
     RecoveryEvent,
     ResilienceLog,
     RetryEvent,
+    StallEvent,
 )
 from .injector import FaultInjector
 from .plan import FaultConfig, FaultKind, FaultPlan, FaultRecord, IOOutcome
@@ -43,6 +46,9 @@ __all__ = [
     "FaultInjector",
     "FaultEvent",
     "RetryEvent",
+    "StallEvent",
+    "HealthEvent",
+    "CircuitEvent",
     "DegradationEvent",
     "CrashEvent",
     "RecoveryEvent",
@@ -52,6 +58,8 @@ __all__ = [
     "is_transient",
     "set_default_fault_config",
     "get_default_fault_config",
+    "set_default_governor_config",
+    "get_default_governor_config",
     "set_default_audit_level",
     "get_default_audit_level",
     "registered_policies",
@@ -62,6 +70,9 @@ __all__ = [
 ]
 
 _default_fault_config: Optional[FaultConfig] = None
+# A GovernorConfig (from repro.config); typed as object to avoid the
+# import cycle faults -> config -> faults.
+_default_governor_config: Optional[object] = None
 _default_audit_level: Optional[str] = None
 # Policies/auditors created from the *global* defaults (i.e. by VMs whose
 # own config did not ask for them).  Bounded by the number of VMs an
@@ -82,6 +93,16 @@ def set_default_fault_config(config: Optional[FaultConfig]) -> None:
 
 def get_default_fault_config() -> Optional[FaultConfig]:
     return _default_fault_config
+
+
+def set_default_governor_config(config: Optional[object]) -> None:
+    """Install the governor config VMs use when theirs is unset."""
+    global _default_governor_config
+    _default_governor_config = config
+
+
+def get_default_governor_config() -> Optional[object]:
+    return _default_governor_config
 
 
 def set_default_audit_level(level: Optional[str]) -> None:
@@ -112,8 +133,10 @@ def registered_auditors() -> List[object]:
 
 def reset_defaults() -> None:
     """Clear global defaults, registries and folded totals (teardown)."""
-    global _default_fault_config, _default_audit_level
+    global _default_fault_config, _default_governor_config
+    global _default_audit_level
     _default_fault_config = None
+    _default_governor_config = None
     _default_audit_level = None
     _policies.clear()
     _auditors.clear()
@@ -142,8 +165,12 @@ def _empty_totals() -> Dict[str, float]:
         "faults_seen": 0.0,
         "ops_retried": 0.0,
         "retry_exhaustions": 0.0,
+        "deadline_exhaustions": 0.0,
         "degradations": 0.0,
         "backoff_seconds": 0.0,
+        "stall_seconds": 0.0,
+        "health_transitions": 0.0,
+        "circuit_transitions": 0.0,
         "crashes": 0.0,
         "recoveries": 0.0,
         "audits_run": 0.0,

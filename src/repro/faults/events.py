@@ -25,13 +25,50 @@ class FaultEvent:
 
 @dataclass
 class RetryEvent:
-    """One completed retry loop around an H2 operation."""
+    """One completed retry loop around an H2 operation.
+
+    ``reason`` names why an unsuccessful loop gave up: ``"attempts"``
+    (max_attempts reached) or ``"deadline"`` (the total-elapsed-backoff
+    cap would have been exceeded).  Successful loops leave it empty.
+    """
 
     time: float
     op: str
     attempts: int
     delay: float
     success: bool
+    reason: str = ""
+
+
+@dataclass
+class StallEvent:
+    """One op parked by a stall burst at the device boundary."""
+
+    time: float
+    device: str
+    op: str
+    seconds: float
+
+
+@dataclass
+class HealthEvent:
+    """A device-health state transition (HEALTHY/DEGRADED/BROWNOUT)."""
+
+    time: float
+    device: str
+    old: str
+    new: str
+    reason: str = ""
+
+
+@dataclass
+class CircuitEvent:
+    """An H2 governor circuit transition (CLOSED/DEGRADED/OPEN)."""
+
+    time: float
+    old: str
+    new: str
+    reason: str = ""
 
 
 @dataclass
@@ -71,6 +108,9 @@ class ResilienceLog:
         self.degradations: List[DegradationEvent] = []
         self.crashes: List[CrashEvent] = []
         self.recoveries: List[RecoveryEvent] = []
+        self.stalls: List[StallEvent] = []
+        self.health: List[HealthEvent] = []
+        self.circuit: List[CircuitEvent] = []
 
     # ------------------------------------------------------------------
     def record_fault(
@@ -79,9 +119,32 @@ class ResilienceLog:
         self.faults.append(FaultEvent(time, device, op, kind, detail))
 
     def record_retry(
-        self, time: float, op: str, attempts: int, delay: float, success: bool
+        self,
+        time: float,
+        op: str,
+        attempts: int,
+        delay: float,
+        success: bool,
+        reason: str = "",
     ) -> None:
-        self.retries.append(RetryEvent(time, op, attempts, delay, success))
+        self.retries.append(
+            RetryEvent(time, op, attempts, delay, success, reason)
+        )
+
+    def record_stall(
+        self, time: float, device: str, op: str, seconds: float
+    ) -> None:
+        self.stalls.append(StallEvent(time, device, op, seconds))
+
+    def record_health(
+        self, time: float, device: str, old: str, new: str, reason: str = ""
+    ) -> None:
+        self.health.append(HealthEvent(time, device, old, new, reason))
+
+    def record_circuit(
+        self, time: float, old: str, new: str, reason: str = ""
+    ) -> None:
+        self.circuit.append(CircuitEvent(time, old, new, reason))
 
     def record_degradation(
         self, time: float, reason: str, failures: int
@@ -125,14 +188,38 @@ class ResilienceLog:
     def recovery_count(self) -> int:
         return len(self.recoveries)
 
+    @property
+    def stall_seconds(self) -> float:
+        return sum(s.seconds for s in self.stalls)
+
+    @property
+    def deadline_exhaustions(self) -> int:
+        """Retry loops that gave up because the backoff deadline hit."""
+        return sum(
+            1 for r in self.retries
+            if not r.success and r.reason == "deadline"
+        )
+
+    @property
+    def health_transitions(self) -> int:
+        return len(self.health)
+
+    @property
+    def circuit_transitions(self) -> int:
+        return len(self.circuit)
+
     def summary(self) -> Dict[str, float]:
         """Flat counters, ready to merge into an experiment result."""
         return {
             "faults_seen": float(self.faults_seen),
             "ops_retried": float(self.ops_retried),
             "retry_exhaustions": float(self.retry_exhaustions),
+            "deadline_exhaustions": float(self.deadline_exhaustions),
             "degradations": float(self.degraded_count),
             "backoff_seconds": sum(r.delay for r in self.retries),
+            "stall_seconds": self.stall_seconds,
             "crashes": float(self.crash_count),
             "recoveries": float(self.recovery_count),
+            "health_transitions": float(self.health_transitions),
+            "circuit_transitions": float(self.circuit_transitions),
         }

@@ -10,8 +10,16 @@ page-cache writeback all inherit it.
 
 Cost accounting on faults mirrors real hardware: a failed request still
 costs the device's access latency (the request travelled to the device
-and came back with an error), and a latency spike charges the access at
-``multiplier`` times its normal cost.
+and came back with an error), a latency spike charges the access at
+``multiplier`` times its normal cost, a brownout window surcharges every
+op by the inverse of the remaining service fraction, and a stall burst
+parks each op for a fixed delay.
+
+The injector is also the feed point of the
+:class:`~repro.devices.health.DeviceHealthMonitor`: every completed op
+reports (actual cost, nominal cost) — the clean device cost returned by
+the wrapped device is the nominal, so no cost-model duplication — and
+every injected error reports an SLO violation.
 """
 
 from __future__ import annotations
@@ -32,10 +40,13 @@ class FaultInjector:
         inner: Device,
         plan: FaultPlan,
         log: Optional[ResilienceLog] = None,
+        monitor=None,
     ):
         self.inner = inner
         self.plan = plan
         self.log = log if log is not None else ResilienceLog()
+        #: optional :class:`~repro.devices.health.DeviceHealthMonitor`
+        self.monitor = monitor
 
     # ------------------------------------------------------------------
     # Device protocol
@@ -56,6 +67,8 @@ class FaultInjector:
         self.log.record_fault(
             self.inner.clock.now, self.inner.name, op, kind.value
         )
+        if self.monitor is not None:
+            self.monitor.observe_error(self.inner.name, op)
         raise DeviceIOError(
             f"injected transient {op} error on {self.inner.name}",
             device=self.inner.name,
@@ -76,19 +89,54 @@ class FaultInjector:
         )
         return extra
 
+    def _brownout(self, base_cost: float, multiplier: float) -> float:
+        """Charge the degraded-service surcharge of a brownout window.
+
+        Not logged per-op (the plan records each window once when it
+        opens); a window covers many ops and the per-op signal belongs
+        to the health monitor, not the fault log.
+        """
+        extra = base_cost * (multiplier - 1.0)
+        self.inner.clock.charge(extra)
+        return extra
+
+    def _stall(self, op: str) -> float:
+        """Park this op for the configured stall-burst delay."""
+        extra = self.plan.config.stall_seconds
+        self.inner.clock.charge(extra)
+        self.log.record_stall(
+            self.inner.clock.now, self.inner.name, op, extra
+        )
+        return extra
+
+    def _observe(
+        self, op: str, nbytes: int, actual: float, nominal: float
+    ) -> None:
+        if self.monitor is not None:
+            self.monitor.observe(self.inner.name, op, nbytes, actual, nominal)
+
     def read(
         self,
         nbytes: int,
         pattern: AccessPattern = AccessPattern.SEQUENTIAL,
         requests: int = 1,
     ) -> float:
-        outcome = self.plan.io_outcome(write=False, device=self.inner.name)
+        outcome = self.plan.io_outcome(
+            write=False, device=self.inner.name, now=self.inner.clock.now
+        )
         if outcome is not None and outcome.kind is FaultKind.READ_ERROR:
             self._fail("read", self.inner.read_latency, requests)
         cost = self.inner.read(nbytes, pattern, requests)
-        if outcome is not None and outcome.kind is FaultKind.LATENCY_SPIKE:
-            cost += self._spike("read", cost, outcome.multiplier)
-        return cost
+        extra = 0.0
+        if outcome is not None:
+            if outcome.kind is FaultKind.LATENCY_SPIKE:
+                extra = self._spike("read", cost, outcome.multiplier)
+            elif outcome.kind is FaultKind.BROWNOUT:
+                extra = self._brownout(cost, outcome.multiplier)
+            elif outcome.kind is FaultKind.STALL:
+                extra = self._stall("read")
+        self._observe("read", nbytes, cost + extra, cost)
+        return cost + extra
 
     def write(
         self,
@@ -96,13 +144,22 @@ class FaultInjector:
         pattern: AccessPattern = AccessPattern.SEQUENTIAL,
         requests: int = 1,
     ) -> float:
-        outcome = self.plan.io_outcome(write=True, device=self.inner.name)
+        outcome = self.plan.io_outcome(
+            write=True, device=self.inner.name, now=self.inner.clock.now
+        )
         if outcome is not None and outcome.kind is FaultKind.WRITE_ERROR:
             self._fail("write", self.inner.write_latency, requests)
         cost = self.inner.write(nbytes, pattern, requests)
-        if outcome is not None and outcome.kind is FaultKind.LATENCY_SPIKE:
-            cost += self._spike("write", cost, outcome.multiplier)
-        return cost
+        extra = 0.0
+        if outcome is not None:
+            if outcome.kind is FaultKind.LATENCY_SPIKE:
+                extra = self._spike("write", cost, outcome.multiplier)
+            elif outcome.kind is FaultKind.BROWNOUT:
+                extra = self._brownout(cost, outcome.multiplier)
+            elif outcome.kind is FaultKind.STALL:
+                extra = self._stall("write")
+        self._observe("write", nbytes, cost + extra, cost)
+        return cost + extra
 
     def read_modify_write(self, nbytes: int) -> float:
         return self.read(nbytes, AccessPattern.RANDOM) + self.write(

@@ -12,6 +12,11 @@ The plan models the failure modes real NVMe/NVM deployments hit
 
 - transient read/write I/O errors (correctable media errors, timeouts);
 - latency spikes (device-internal GC, thermal throttling);
+- sustained brownout windows (a co-located tenant saturating the shared
+  device: service rate cut to a fraction for a stretch of simulated
+  time, with region allocations denied while the window lasts);
+- stall bursts (a run of consecutive operations each parked for a fixed
+  service delay — queueing behind a device-internal flush);
 - device-full conditions on H2 region allocation;
 - SIGBUS on page faults through the H2 file mapping (an I/O error
   surfacing through the kernel's fault handler rather than a syscall).
@@ -23,7 +28,7 @@ import enum
 from contextlib import contextmanager
 from dataclasses import dataclass
 from random import Random
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 
 class FaultKind(enum.Enum):
@@ -32,6 +37,8 @@ class FaultKind(enum.Enum):
     READ_ERROR = "read_error"
     WRITE_ERROR = "write_error"
     LATENCY_SPIKE = "latency_spike"
+    BROWNOUT = "brownout"
+    STALL = "stall"
     DEVICE_FULL = "device_full"
     SIGBUS = "sigbus"
     CRASH = "crash"
@@ -61,12 +68,40 @@ class FaultConfig:
     device_full_rate: float = 0.0
     #: simulated-SIGBUS probability per faulting mapped access
     sigbus_rate: float = 0.0
+    # --- brownout windows ----------------------------------------------
+    #: per-op probability that a brownout window opens at this operation
+    brownout_rate: float = 0.0
+    #: length of a randomly opened brownout window, simulated seconds
+    brownout_duration_s: float = 0.05
+    #: service-rate fraction the device retains during a brownout (every
+    #: op inside the window costs ``1 / fraction`` times its normal cost)
+    brownout_bandwidth_fraction: float = 0.5
+    #: explicitly scheduled windows: ``(start_s, duration_s, fraction)``
+    #: in simulated time — the chaos-soak experiment's main knob
+    brownout_windows: Tuple[Tuple[float, float, float], ...] = ()
+    #: deny H2 region allocations while a brownout window is active (the
+    #: device is effectively unreachable for bulk placement)
+    brownout_denies_alloc: bool = True
+    # --- stall bursts ---------------------------------------------------
+    #: per-op probability that a stall burst starts at this operation
+    stall_rate: float = 0.0
+    #: fixed extra service delay charged to each stalled op, seconds
+    stall_seconds: float = 2e-3
+    #: consecutive ops parked once a burst starts
+    stall_burst_ops: int = 4
     # --- retry policy -------------------------------------------------
     #: total attempts (first try + retries) before an op counts as failed
     max_attempts: int = 4
     #: first backoff delay in simulated seconds; doubles per retry
     backoff_base: float = 100e-6
     backoff_factor: float = 2.0
+    #: seeded jitter fraction applied to each backoff delay (0 disables);
+    #: drawn from a dedicated stream so retries never perturb the fault
+    #: schedule, yet lock-step retry convoys are broken up
+    backoff_jitter: float = 0.0
+    #: cap on the *total* backoff seconds one op may spend before its
+    #: retries are declared exhausted-by-deadline (``None`` = unbounded)
+    retry_deadline: Optional[float] = None
     # --- degradation --------------------------------------------------
     #: failed operations (retry exhaustions + device-full denials)
     #: tolerated before H2 transfers are disabled
@@ -125,6 +160,15 @@ class FaultPlan:
         #: visits per crash safepoint (deterministic given the workload)
         self.safepoint_hits: Dict[str, int] = {}
         self.crashed = False
+        # Brownout/stall state.  Windows are expressed in *simulated
+        # time* (not op index) so a governor that halts device traffic
+        # cannot freeze a window open forever.
+        self._brownout_until = float("-inf")
+        self._brownout_fraction = 1.0
+        self._seen_windows: set = set()
+        self._active_fraction = 1.0
+        self._stall_ops_left = 0
+        self.stalled_ops = 0
 
     # ------------------------------------------------------------------
     @property
@@ -151,13 +195,47 @@ class FaultPlan:
             FaultRecord(self.op_index, kind, device, detail)
         )
 
-    def io_outcome(self, write: bool, device: str) -> Optional[IOOutcome]:
+    # ------------------------------------------------------------------
+    # Brownout windows / stall bursts (time-based degraded service)
+    # ------------------------------------------------------------------
+    def _note_scheduled_windows(self, device: str, now: float) -> None:
+        """Record each configured window once, when first observed open."""
+        for i, (start, dur, frac) in enumerate(self.config.brownout_windows):
+            if i not in self._seen_windows and start <= now < start + dur:
+                self._seen_windows.add(i)
+                self._record(
+                    FaultKind.BROWNOUT,
+                    device,
+                    detail=f"window@{start:g}s+{dur:g}s x{frac:g}",
+                )
+
+    def brownout_active(self, now: float) -> bool:
+        """Is any brownout window (random or scheduled) open at ``now``?
+
+        Side effect: latches the active bandwidth fraction (the worst of
+        all open windows) for the caller's surcharge computation.
+        """
+        fraction: Optional[float] = None
+        if now < self._brownout_until:
+            fraction = self._brownout_fraction
+        for start, dur, frac in self.config.brownout_windows:
+            if start <= now < start + dur:
+                fraction = frac if fraction is None else min(fraction, frac)
+        self._active_fraction = 1.0 if fraction is None else max(
+            fraction, 1e-6
+        )
+        return fraction is not None
+
+    def io_outcome(
+        self, write: bool, device: str, now: float = 0.0
+    ) -> Optional[IOOutcome]:
         """Verdict for one device read/write; ``None`` means no fault."""
         if self.suspended:
             return None
         cfg = self.config
         self.op_index += 1
         draw = self._rng.random()
+        self._note_scheduled_windows(device, now)
         error_rate = cfg.write_error_rate if write else cfg.read_error_rate
         if draw < error_rate:
             kind = FaultKind.WRITE_ERROR if write else FaultKind.READ_ERROR
@@ -169,16 +247,58 @@ class FaultPlan:
                 FaultKind.LATENCY_SPIKE, device, detail=f"x{mult:g}"
             )
             return IOOutcome(FaultKind.LATENCY_SPIKE, multiplier=mult)
+        edge = error_rate + cfg.latency_spike_rate
+        if draw < edge + cfg.brownout_rate:
+            # Open (or extend) a random brownout window from this op.
+            self._brownout_until = now + cfg.brownout_duration_s
+            self._brownout_fraction = cfg.brownout_bandwidth_fraction
+            self._record(
+                FaultKind.BROWNOUT,
+                device,
+                detail=(
+                    f"opened+{cfg.brownout_duration_s:g}s "
+                    f"x{cfg.brownout_bandwidth_fraction:g}"
+                ),
+            )
+        elif (
+            draw < edge + cfg.brownout_rate + cfg.stall_rate
+            and self._stall_ops_left == 0
+        ):
+            self._stall_ops_left = cfg.stall_burst_ops
+            self._record(
+                FaultKind.STALL, device, detail=f"burst={cfg.stall_burst_ops}"
+            )
+        # Ongoing degraded-service conditions surcharge the op even when
+        # this op's draw fired nothing itself.
+        if self._stall_ops_left > 0:
+            self._stall_ops_left -= 1
+            self.stalled_ops += 1
+            return IOOutcome(FaultKind.STALL)
+        if self.brownout_active(now):
+            return IOOutcome(
+                FaultKind.BROWNOUT, multiplier=1.0 / self._active_fraction
+            )
         return None
 
-    def allocation_fault(self, device: str, requested: int = 0) -> bool:
+    def allocation_fault(
+        self, device: str, requested: int = 0, now: float = 0.0
+    ) -> bool:
         """Should this H2 region allocation hit a device-full condition?"""
         if self.suspended:
             return False
         self.op_index += 1
-        if self._rng.random() < self.config.device_full_rate:
+        draw = self._rng.random()
+        self._note_scheduled_windows(device, now)
+        if draw < self.config.device_full_rate:
             self._record(
                 FaultKind.DEVICE_FULL, device, detail=f"{requested}B"
+            )
+            return True
+        if self.config.brownout_denies_alloc and self.brownout_active(now):
+            self._record(
+                FaultKind.DEVICE_FULL,
+                device,
+                detail=f"brownout {requested}B",
             )
             return True
         return False

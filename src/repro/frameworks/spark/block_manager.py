@@ -11,14 +11,28 @@ policies correspond to the paper's configurations:
   ``h2_tag_root(root, rdd_id)`` and ``h2_move(rdd_id)`` is issued
   immediately — cached objects migrate to H2 at the next major GC and are
   then read in place.
+
+Under the H2 governor, TERAHEAP degrades gracefully: while the circuit
+is OPEN new partitions fall back to serialized-on-heap caching (or are
+not cached at all when the storage budget is full — the recompute
+penalty), and when the VM applies emergency backpressure the block
+manager sheds its H1-charged entries LRU-first via
+:meth:`shed_blocks`.
+
+Accounting invariant: every entry is charged to exactly one residency
+bucket — ``onheap_used`` (H1 bytes), ``h2_bytes`` (entries whose objects
+migrated to H2), or ``offheap_bytes`` (serialized blobs on the device) —
+and :meth:`_remove_entry` is the single place an entry leaves the cache,
+so drops, evictions and sheds cannot drift the counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ...clock import Bucket
+from ...heap.object_model import HeapObject
 from ...runtime import JavaVM
 from ...serdes.serializer import SerializedBlob
 from .conf import CachePolicy, SparkConf
@@ -29,11 +43,26 @@ from .rdd import RDD, MaterializedPartition
 class CacheEntry:
     """One cached partition."""
 
-    kind: str  # "heap" (H1 or H2) | "blob" (serialized off-heap)
+    kind: str  # "heap" (live objects) | "blob" (serialized)
     partition: Optional[MaterializedPartition] = None
     blob: Optional[SerializedBlob] = None
     num_chunks: int = 0
     chunk_size: int = 0
+    #: H1 holder of a serialized-on-heap blob (the governor fallback);
+    #: ``None`` for device-resident blobs
+    heap_blob: Optional[HeapObject] = None
+    #: residency bucket this entry's bytes are charged to:
+    #: "h1" (onheap_used), "h2" (h2_bytes) or "offheap" (offheap_bytes)
+    charged: str = "h1"
+    #: monotone access stamp for LRU shedding
+    last_access: int = 0
+
+    def charged_bytes(self) -> int:
+        if self.kind == "heap" and self.partition is not None:
+            return self.partition.size_bytes
+        if self.blob is not None:
+            return self.blob.size_bytes
+        return 0
 
 
 class BlockManager:
@@ -51,7 +80,26 @@ class BlockManager:
         )
         self.onheap_used = 0
         self.offheap_bytes = 0
+        #: bytes of cached entries whose objects migrated to H2
+        self.h2_bytes = 0
         self.deserializations = 0
+        #: entries dropped by memory-store overflow (MO policy)
+        self.drops = 0
+        #: entries shed by emergency backpressure
+        self.sheds = 0
+        self.shed_bytes = 0
+        #: computes of partitions that *were* cached but got dropped/shed
+        self.recomputes = 0
+        #: stores re-routed away from H2 by an open governor circuit
+        self.governor_fallbacks = 0
+        self._dropped_keys: Set[Tuple[int, int]] = set()
+        self._access_seq = 0
+        if getattr(vm, "governor", None) is not None:
+            vm.register_pressure_handler(self.shed_blocks)
+
+    def _stamp(self, entry: CacheEntry) -> None:
+        self._access_seq += 1
+        entry.last_access = self._access_seq
 
     # ------------------------------------------------------------------
     def get_or_compute(
@@ -63,6 +111,11 @@ class BlockManager:
         key = (rdd.rdd_id, index)
         entry = self.entries.get(key)
         if entry is None:
+            if key in self._dropped_keys:
+                # The cached copy was dropped (overflow) or shed
+                # (backpressure): this compute is the recompute penalty.
+                self._dropped_keys.discard(key)
+                self.recomputes += 1
             part = compute(index)
             with self.vm.roots.frame() as frame:
                 # Pin the fresh partition while the store path may allocate
@@ -71,6 +124,7 @@ class BlockManager:
                 frame.push_all(part.chunks)
                 self._store(rdd, index, part)
             return part
+        self._stamp(entry)
         if entry.kind == "heap":
             return entry.partition
         return self._read_offheap(rdd, index, entry)
@@ -82,13 +136,23 @@ class BlockManager:
         policy = self.conf.cache_policy
         size = part.size_bytes
         if policy is CachePolicy.TERAHEAP:
+            governor = getattr(vm, "governor", None)
+            if governor is not None and governor.blocks_h2_caching():
+                # Circuit open: H2 is browned out, do not aim new cached
+                # data at it — fall back to serialized-on-heap (or the
+                # recompute penalty when the storage budget is full).
+                self.governor_fallbacks += 1
+                self._store_fallback(rdd, key, part)
+                return
             vm.write_ref(self.cache_root, part.root)
             # Mark the partition descriptor as a root key-object with the
             # RDD id as its label and advise the move right away — cached
             # partitions are immutable at allocation time (Section 5).
             vm.h2_tag_root(part.root, rdd.cache_label)
             vm.h2_move(rdd.cache_label)
-            self.entries[key] = CacheEntry(kind="heap", partition=part)
+            entry = CacheEntry(kind="heap", partition=part)
+            self._stamp(entry)
+            self.entries[key] = entry
             self.onheap_used += size
             return
         if policy is CachePolicy.MO:
@@ -101,12 +165,16 @@ class BlockManager:
             if self.onheap_used + size > budget:
                 return  # cannot cache at all; always recompute
             vm.write_ref(self.cache_root, part.root)
-            self.entries[key] = CacheEntry(kind="heap", partition=part)
+            entry = CacheEntry(kind="heap", partition=part)
+            self._stamp(entry)
+            self.entries[key] = entry
             self.onheap_used += size
             return
         if self.onheap_used + size <= self.onheap_budget:
             vm.write_ref(self.cache_root, part.root)
-            self.entries[key] = CacheEntry(kind="heap", partition=part)
+            entry = CacheEntry(kind="heap", partition=part)
+            self._stamp(entry)
+            self.entries[key] = entry
             self.onheap_used += size
             return
         # SD overflow: serialize to the off-heap store and let the heap
@@ -117,25 +185,118 @@ class BlockManager:
             with vm.clock.context(Bucket.SD_IO):
                 device.write(blob.size_bytes)
         self.offheap_bytes += blob.size_bytes
-        self.entries[key] = CacheEntry(
+        entry = CacheEntry(
             kind="blob",
             blob=blob,
             num_chunks=len(part.chunks),
             chunk_size=part.chunks[0].size if part.chunks else 0,
+            charged="offheap",
         )
+        self._stamp(entry)
+        self.entries[key] = entry
 
-    def _drop_oldest(self) -> None:
-        """Evict the oldest cached partition (drop, no spill)."""
-        key = next(iter(self.entries))
+    def _store_fallback(
+        self, rdd: RDD, key: Tuple[int, int], part: MaterializedPartition
+    ) -> None:
+        """Governor fallback: serialized-on-heap caching, or none at all.
+
+        The partition serializes into an H1 byte-array holder (MEMORY_AND
+        _DISK_SER semantics without the disk); accesses pay deserialization
+        but no device I/O.  If the holder would blow the storage budget
+        the partition is not cached and its next access recomputes.
+        """
+        vm = self.vm
+        blob = vm.serializer.serialize(part.root)
+        if self.onheap_used + blob.size_bytes > self.onheap_budget:
+            self._dropped_keys.add(key)
+            return
+        holder = vm.allocate(
+            blob.size_bytes, name=f"{rdd.name}-p{key[1]}-ser"
+        )
+        vm.write_ref(self.cache_root, holder)
+        entry = CacheEntry(
+            kind="blob",
+            blob=blob,
+            num_chunks=len(part.chunks),
+            chunk_size=part.chunks[0].size if part.chunks else 0,
+            heap_blob=holder,
+            charged="h1",
+        )
+        self._stamp(entry)
+        self.entries[key] = entry
+        self.onheap_used += blob.size_bytes
+
+    # ------------------------------------------------------------------
+    def reconcile_residency(self) -> None:
+        """Re-bucket entries whose objects migrated H1 -> H2.
+
+        A TERAHEAP entry is stored charged to ``onheap_used``; once the
+        collector moves its label group to H2 those bytes no longer
+        occupy H1.  Shedding such an entry would free nothing, so the
+        shed path (and :meth:`cached_bytes`) reconciles first.
+        """
+        for entry in self.entries.values():
+            if (
+                entry.kind == "heap"
+                and entry.charged == "h1"
+                and entry.partition is not None
+                and entry.partition.root.in_h2
+            ):
+                size = entry.partition.size_bytes
+                self.onheap_used -= size
+                self.h2_bytes += size
+                entry.charged = "h2"
+
+    def _remove_entry(self, key: Tuple[int, int]) -> int:
+        """Unroot and uncharge one entry; returns the H1 bytes it freed."""
         entry = self.entries.pop(key)
+        size = entry.charged_bytes()
         if entry.kind == "heap" and entry.partition is not None:
             self.vm.write_ref(
                 self.cache_root, None, remove=entry.partition.root
             )
-            self.onheap_used -= entry.partition.size_bytes
-        elif entry.blob is not None:
-            self.offheap_bytes -= entry.blob.size_bytes
-        self.drops = getattr(self, "drops", 0) + 1
+        elif entry.heap_blob is not None:
+            self.vm.write_ref(self.cache_root, None, remove=entry.heap_blob)
+        if entry.charged == "h1":
+            self.onheap_used -= size
+            return size
+        if entry.charged == "h2":
+            self.h2_bytes -= size
+        else:
+            self.offheap_bytes -= size
+        return 0
+
+    def _drop_oldest(self) -> None:
+        """Evict the oldest cached partition (drop, no spill)."""
+        key = next(iter(self.entries))
+        self._remove_entry(key)
+        self._dropped_keys.add(key)
+        self.drops += 1
+
+    def shed_blocks(self, nbytes: int) -> int:
+        """Emergency backpressure: shed H1-charged entries, LRU first.
+
+        Called by the VM's :meth:`~repro.runtime.JavaVM.register_pressure_handler`
+        hook while the governor circuit is open and H1 is past the
+        emergency watermark.  Only entries still occupying H1 are worth
+        shedding; H2-backed and device-blob entries free no H1 space.
+        Returns the H1 bytes freed (reclaimable at the next full GC).
+        """
+        self.reconcile_residency()
+        freed = 0
+        by_lru = sorted(
+            self.entries.items(), key=lambda item: item[1].last_access
+        )
+        for key, entry in by_lru:
+            if freed >= nbytes:
+                break
+            if entry.charged != "h1":
+                continue
+            freed += self._remove_entry(key)
+            self._dropped_keys.add(key)
+            self.sheds += 1
+        self.shed_bytes += freed
+        return freed
 
     def _read_offheap(
         self, rdd: RDD, index: int, entry: CacheEntry
@@ -144,11 +305,13 @@ class BlockManager:
 
         This is the recurring cost TeraHeap eliminates: every access pays
         device reads, deserialization CPU, and a fresh short-lived copy of
-        the whole partition on the managed heap.
+        the whole partition on the managed heap.  Serialized-on-heap
+        entries (governor fallback) skip the device read but still pay
+        deserialization.
         """
         vm = self.vm
         device = self.conf.offheap_device
-        if device is not None:
+        if device is not None and entry.heap_blob is None:
             with vm.clock.context(Bucket.SD_IO):
                 device.read(entry.blob.size_bytes)
         vm.serializer.deserialize_cost(entry.blob)
@@ -173,15 +336,10 @@ class BlockManager:
     # ------------------------------------------------------------------
     def evict_rdd(self, rdd: RDD) -> None:
         """Drop an RDD's cached partitions (unpersist)."""
+        self.reconcile_residency()
         for key in [k for k in self.entries if k[0] == rdd.rdd_id]:
-            entry = self.entries.pop(key)
-            if entry.kind == "heap" and entry.partition is not None:
-                self.vm.write_ref(
-                    self.cache_root, None, remove=entry.partition.root
-                )
-                self.onheap_used -= entry.partition.size_bytes
-            elif entry.blob is not None:
-                self.offheap_bytes -= entry.blob.size_bytes
+            self._remove_entry(key)
 
     def cached_bytes(self) -> int:
-        return self.onheap_used + self.offheap_bytes
+        self.reconcile_residency()
+        return self.onheap_used + self.offheap_bytes + self.h2_bytes

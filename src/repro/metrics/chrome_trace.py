@@ -70,9 +70,10 @@ def _instant(
 def resilience_trace_events(log: Any) -> List[Dict[str, Any]]:
     """A :class:`~repro.faults.events.ResilienceLog` as instant events.
 
-    Faults, retries, degradations, crashes and recoveries render as
-    global instant markers ("ph": "i", scope "g"), so fault activity
-    lines up against the GC task lanes on the same timeline.
+    Faults, retries, stalls, health/circuit transitions, degradations,
+    crashes and recoveries render as global instant markers ("ph": "i",
+    scope "g"), so fault activity lines up against the GC task lanes on
+    the same timeline.
     """
     events: List[Dict[str, Any]] = []
     if log is None:
@@ -96,6 +97,30 @@ def resilience_trace_events(log: Any) -> List[Dict[str, Any]]:
                     "delay_s": ev.delay,
                     "success": ev.success,
                 },
+            )
+        )
+    for ev in log.stalls:
+        events.append(
+            _instant(
+                ev.time,
+                "stall",
+                {"device": ev.device, "op": ev.op, "seconds": ev.seconds},
+            )
+        )
+    for ev in log.health:
+        events.append(
+            _instant(
+                ev.time,
+                f"health:{ev.new}",
+                {"device": ev.device, "from": ev.old, "reason": ev.reason},
+            )
+        )
+    for ev in log.circuit:
+        events.append(
+            _instant(
+                ev.time,
+                f"circuit:{ev.new}",
+                {"from": ev.old, "reason": ev.reason},
             )
         )
     for ev in log.degradations:

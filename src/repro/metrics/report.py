@@ -96,6 +96,16 @@ def collect_result(
             "h2_transfers_denied",
             getattr(vm.collector, "h2_transfers_denied", 0),
         )
+        result.extras.setdefault("stall_seconds", res.log.stall_seconds)
+        result.extras.setdefault(
+            "deadline_exhaustions", res.log.deadline_exhaustions
+        )
+    governor = getattr(vm, "governor", None)
+    if governor is not None:
+        result.extras.setdefault("governor_trips", governor.trips)
+        result.extras.setdefault("governor_probes", governor.probes)
+        result.extras.setdefault("alloc_stalls", vm.alloc_stalls)
+        result.extras.setdefault("emergency_gcs", vm.emergency_gcs)
     if auditor is not None:
         result.extras.setdefault("audits_run", auditor.audits_run)
         result.extras.setdefault(

@@ -169,13 +169,46 @@ def resilience_events_csv(log) -> str:
             [f"{event.time:.6f}", "fault", event.device, event.kind, event.detail]
         )
     for event in log.retries:
+        kind = "success" if event.success else "exhausted"
+        if not event.success and event.reason:
+            kind = f"exhausted:{event.reason}"
         writer.writerow(
             [
                 f"{event.time:.6f}",
                 "retry",
                 event.op,
-                "success" if event.success else "exhausted",
+                kind,
                 f"attempts={event.attempts} backoff={event.delay:.6f}",
+            ]
+        )
+    for event in log.stalls:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "stall",
+                event.device,
+                event.op,
+                f"seconds={event.seconds:.6f}",
+            ]
+        )
+    for event in log.health:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "health",
+                event.device,
+                f"{event.old}->{event.new}",
+                event.reason,
+            ]
+        )
+    for event in log.circuit:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "circuit",
+                "h2-governor",
+                f"{event.old}->{event.new}",
+                event.reason,
             ]
         )
     for event in log.degradations:

@@ -15,14 +15,17 @@ from typing import Dict, Iterable, List, Optional
 from .clock import Bucket, Clock
 from .config import VMConfig
 from .devices.base import AccessPattern, Device
+from .devices.health import DeviceHealthMonitor
 from .devices.nvme import NVMeSSD
 from .errors import ConfigError, OutOfMemoryError, SegmentationFault
 from .faults import (
     get_default_audit_level,
     get_default_fault_config,
+    get_default_governor_config,
     register_auditor,
     register_policy,
 )
+from .faults.plan import FaultConfig
 from .faults.policy import ResiliencePolicy
 from .heap.audit import HeapAuditor, make_auditor
 from .gc.parallel_scavenge import (
@@ -61,6 +64,16 @@ class JavaVM:
         self.old_gen_device = old_gen_device
         self.resilience: Optional[ResiliencePolicy] = None
         self.auditor: Optional[HeapAuditor] = None
+        #: device-health watchdog + H2 circuit breaker (teraheap only)
+        self.health: Optional[DeviceHealthMonitor] = None
+        self.governor = None
+        #: callbacks ``fn(target_bytes) -> freed_bytes`` run under
+        #: emergency backpressure (e.g. block-manager cache shedding)
+        self.pressure_handlers = []
+        #: allocation-stall rounds spent in emergency backpressure
+        self.alloc_stalls = 0
+        #: emergency full GCs run by the backpressure path
+        self.emergency_gcs = 0
 
         if config.collector == "g1":
             from .gc.g1 import G1Collector, G1Heap, G1WriteBarrier
@@ -90,6 +103,32 @@ class JavaVM:
                         # Armed via the process-global default (the CLI's
                         # --faults flag): register for aggregate reporting.
                         register_policy(self.resilience)
+                gov_cfg = config.governor or get_default_governor_config()
+                if gov_cfg is not None and gov_cfg.enabled:
+                    from .teraheap.governor import H2Governor
+
+                    if self.resilience is None:
+                        # The monitor is fed by the fault injectors; with
+                        # no fault plan configured, wrap devices with a
+                        # benign (inject-nothing) plan so timings still
+                        # flow to the watchdog.
+                        self.resilience = ResiliencePolicy(
+                            FaultConfig(), self.clock
+                        )
+                    self.health = DeviceHealthMonitor(
+                        self.clock, gov_cfg.health
+                    )
+                    log = self.resilience.log
+                    self.health.add_listener(
+                        lambda t: log.record_health(
+                            t.time, t.device, t.old.value, t.new.value,
+                            t.reason,
+                        )
+                    )
+                    self.resilience.attach_monitor(self.health)
+                    self.governor = H2Governor(
+                        gov_cfg, self.health, self.clock, log=log
+                    )
                 self.h2 = H2Heap(
                     config.teraheap,
                     h2_device,
@@ -106,6 +145,7 @@ class JavaVM:
                     config,
                     self.h2,
                     self.hints,
+                    governor=self.governor,
                 )
             elif config.collector == "panthera":
                 from .gc.panthera import PantheraCollector
@@ -208,6 +248,8 @@ class JavaVM:
         self.major_gc()
         if self.heap.try_allocate(obj):
             return obj
+        if self._emergency_backpressure(obj):
+            return obj
         self.oom = True
         message = f"cannot allocate {size} B after full GC"
         context = self._degradation_context()
@@ -218,6 +260,7 @@ class JavaVM:
             requested=size,
             available=self.heap.capacity - self.heap.used(),
             context=context,
+            heap_report=self.diagnostic_heap_report(),
         )
 
     def _degradation_context(self) -> str:
@@ -225,6 +268,78 @@ class JavaVM:
         if self.resilience is None:
             return ""
         return self.resilience.degradation_context()
+
+    # ==================================================================
+    # Emergency backpressure (governor OPEN + H1 past the watermark)
+    # ==================================================================
+    def register_pressure_handler(self, fn) -> None:
+        """Register ``fn(target_bytes) -> freed_bytes``, called when the
+        VM applies emergency backpressure instead of raising OOM."""
+        self.pressure_handlers.append(fn)
+
+    def _emergency_backpressure(self, obj: HeapObject) -> bool:
+        """Last line before OOM: stall, shed cached data, GC, retry.
+
+        Only runs while the H2 governor has the circuit open and H1 sits
+        past the emergency watermark — the situation where the device
+        brownout (not the workload) pinned data in H1.  Each round parks
+        the allocating thread (charged to ``Bucket.ALLOC_STALL``), asks
+        the registered pressure handlers to shed droppable bytes, and
+        runs an emergency full GC.  Returns True once ``obj`` allocated;
+        False means true exhaustion and the caller raises OOM.
+        """
+        if self.governor is None:
+            return False
+        occupancy = self.heap.used() / self.heap.capacity
+        if not self.governor.emergency_active(occupancy):
+            return False
+        gov_cfg = self.governor.config
+        target = max(obj.size, int(0.05 * self.heap.capacity))
+        for _ in range(gov_cfg.max_emergency_rounds):
+            self.alloc_stalls += 1
+            self.clock.charge(gov_cfg.alloc_stall_wait, Bucket.ALLOC_STALL)
+            self.clock.record_event("alloc_stall", gov_cfg.alloc_stall_wait)
+            freed = 0
+            for handler in self.pressure_handlers:
+                freed += handler(target)
+            self.emergency_gcs += 1
+            self.major_gc()
+            if self.heap.try_allocate(obj):
+                return True
+            if freed == 0:
+                # Nothing left to shed and GC cannot free more: more
+                # rounds would only burn stall time before the same OOM.
+                return False
+        return False
+
+    def diagnostic_heap_report(self) -> str:
+        """Multi-line heap/governor/resilience state for OOM errors."""
+        lines = [
+            "== simulated heap report ==",
+            (
+                f"H1: {self.heap.used()}/{self.heap.capacity} B used "
+                f"({self.heap.used() / self.heap.capacity:.0%})"
+            ),
+        ]
+        if self.h2 is not None:
+            lines.append(
+                f"H2: {self.h2.used_bytes()}/{self.h2.config.h2_size} B used, "
+                f"{len(self.h2.regions)} regions"
+            )
+        if self.governor is not None:
+            lines.append(f"governor: {self.governor.describe()}")
+        if self.health is not None:
+            lines.append(f"devices: {self.health.describe()}")
+        if self.resilience is not None:
+            lines.append(
+                f"resilience: failures={self.resilience.failures} "
+                f"degraded={self.resilience.degraded}"
+            )
+        lines.append(
+            f"backpressure: alloc_stalls={self.alloc_stalls} "
+            f"emergency_gcs={self.emergency_gcs}"
+        )
+        return "\n".join(lines)
 
     def allocate_array(
         self,
@@ -255,14 +370,19 @@ class JavaVM:
                 self.minor_gc()
                 if not self.heap.try_allocate(obj):
                     self.major_gc()
-                    if not self.heap.try_allocate(obj):
+                    if not self.heap.try_allocate(
+                        obj
+                    ) and not self._emergency_backpressure(obj):
                         self.oom = True
                         message = "temporary allocation failed"
                         context = self._degradation_context()
                         if context:
                             message = f"{message} ({context})"
                         raise OutOfMemoryError(
-                            message, requested=chunk, context=context
+                            message,
+                            requested=chunk,
+                            context=context,
+                            heap_report=self.diagnostic_heap_report(),
                         )
             remaining -= chunk
 

@@ -49,10 +49,13 @@ class TeraHeapCollector(ParallelScavenge):
         config: VMConfig,
         h2: H2Heap,
         hints: HintInterface,
+        governor=None,
     ):
         super().__init__(heap, roots, clock, config)
         self.h2 = h2
         self.hints = hints
+        #: optional :class:`~repro.teraheap.governor.H2Governor`
+        self.governor = governor
         policy_cls = (
             AdaptiveThresholdPolicy
             if config.teraheap.adaptive_thresholds
@@ -63,6 +66,7 @@ class TeraHeapCollector(ParallelScavenge):
             high_threshold=config.teraheap.high_threshold,
             low_threshold=config.teraheap.low_threshold,
             use_move_hint=config.teraheap.use_move_hint,
+            governor=governor,
         )
         self.four_state = config.teraheap.four_state_cards
         #: forward (H1->H2) references fenced per GC, Section 7.4 metric
@@ -74,6 +78,10 @@ class TeraHeapCollector(ParallelScavenge):
         self._minor_scanned: List[Tuple[int, List[HeapObject]]] = []
         self._major_scanned: List[Tuple[int, List[HeapObject]]] = []
         self._moved_labels: Set[str] = set()
+        #: per-cycle placement outcome, reported to the governor at the
+        #: end of every major GC
+        self._cycle_denied = 0
+        self._cycle_placed_bytes = 0
 
     # ==================================================================
     # Card scanning helpers
@@ -302,10 +310,30 @@ class TeraHeapCollector(ParallelScavenge):
         movers: List[Tuple[HeapObject, str]] = []
         moved_labels: Set[str] = set()
         if decision.move_hinted:
+            # The governor may cap hinted bytes (circuit open / half-open
+            # probe); None means unlimited, the normal case.
+            hinted_budget = decision.hinted_budget
             for label in list(groups):
+                if hinted_budget is not None and hinted_budget <= 0:
+                    break
                 if self.hints.is_move_pending(label):
-                    movers.extend((o, label) for o in groups.pop(label))
-                    moved_labels.add(label)
+                    members = groups.pop(label)
+                    if hinted_budget is None:
+                        movers.extend((o, label) for o in members)
+                        moved_labels.add(label)
+                        continue
+                    taken = []
+                    for obj in members:
+                        if hinted_budget <= 0:
+                            break
+                        taken.append(obj)
+                        hinted_budget -= obj.size
+                    movers.extend((o, label) for o in taken)
+                    if len(taken) == len(members):
+                        moved_labels.add(label)
+                    # A partially-moved hinted label keeps its pending
+                    # hint and candidate tags; the rest follows once the
+                    # circuit allows it.
         if decision.move_unhinted and groups:
             # Pressure transfer: move marked objects oldest-label-first
             # until the byte budget runs out (the low threshold, §3.2).
@@ -351,14 +379,22 @@ class TeraHeapCollector(ParallelScavenge):
         placed: List[Tuple[HeapObject, str]] = []
         res = self.h2.resilience
         denied = 0
+        abort = False
         for obj, label in movers:
-            if res is not None and res.degraded:
+            if abort or (res is not None and res.degraded):
                 denied += 1
                 continue
             try:
                 self.h2.assign_address(obj, label, epoch)
             except DeviceFullError as exc:
                 denied += 1
+                if self.governor is not None:
+                    # Circuit-breaker fail-fast: one denial is evidence
+                    # enough.  Skipping the cycle's remaining movers
+                    # (they keep their candidate tags) protects the
+                    # legacy failure budget the governor supersedes and
+                    # lets the circuit trip before the budget burns.
+                    abort = True
                 if res is not None:
                     res.note_failure("h2_assign_address", exc)
                     continue
@@ -366,6 +402,8 @@ class TeraHeapCollector(ParallelScavenge):
             obj.h2_candidate = False
             placed.append((obj, label))
         self.h2_transfers_denied += denied
+        self._cycle_denied = denied
+        self._cycle_placed_bytes = sum(o.size for o, _ in placed)
         return placed
 
     def adjust_mover_references(
@@ -510,12 +548,19 @@ class TeraHeapCollector(ParallelScavenge):
             self._moved_labels = set()
 
     def on_major_complete(self, epoch: int) -> None:
-        """Commit the durable epoch at the end of every major GC."""
-        if self.config.teraheap.writeback_policy == "none":
-            return
-        with self.clock.sub_context("h2_commit"):
-            self.h2.commit_epoch(
-                epoch,
-                note=self.h2.checkpoint_note,
-                fsync_cost=self.cost.fsync_cost,
+        """Commit the durable epoch and report placement to the governor."""
+        if self.config.teraheap.writeback_policy != "none":
+            with self.clock.sub_context("h2_commit"):
+                self.h2.commit_epoch(
+                    epoch,
+                    note=self.h2.checkpoint_note,
+                    fsync_cost=self.cost.fsync_cost,
+                )
+        if self.governor is not None:
+            # Circuit feedback: a clean probe cycle is the evidence that
+            # lets an OPEN circuit start closing again.
+            self.governor.note_transfer_result(
+                self._cycle_placed_bytes, self._cycle_denied
             )
+        self._cycle_denied = 0
+        self._cycle_placed_bytes = 0

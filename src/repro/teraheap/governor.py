@@ -1,0 +1,209 @@
+"""The H2 governor: a circuit breaker between the collector and H2.
+
+The governor subscribes to the
+:class:`~repro.devices.health.DeviceHealthMonitor` and translates device
+health into transfer policy:
+
+- ``CLOSED``: normal operation — the threshold policy decides transfers
+  exactly as before.
+- ``DEGRADED``: the device is slow but serviceable — unhinted (pressure)
+  transfer budgets are scaled down so the collector stops shovelling
+  bulk data at a struggling device, while hinted moves (the application
+  said this data belongs on H2) continue.
+- ``OPEN``: the device browned out — unhinted transfers halt entirely
+  and hinted moves are capped to a trickle.  While open, the governor
+  periodically grants a small *probe* budget with exponential backoff
+  between probes; a probe cycle that places its bytes without a denial
+  on a healthy device closes the circuit (via DEGRADED, one step at a
+  time — re-opening is instant, re-closing is earned).
+
+The :class:`~repro.teraheap.thresholds.ThresholdPolicy` consults
+:meth:`transfer_caps` on every decision; the collector reports each
+major-GC's placement outcome through :meth:`note_transfer_result`; the
+Spark :class:`~repro.frameworks.spark.block_manager.BlockManager` checks
+:meth:`blocks_h2_caching` before routing cached partitions at H2; and
+the VM checks :meth:`emergency_active` to decide when allocation
+failures should trigger backpressure (shed + stall) instead of an
+immediate OOM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..clock import Clock
+from ..devices.health import DeviceHealthMonitor, DeviceState, HealthTransition
+
+
+class CircuitState(enum.Enum):
+    """H2 transfer circuit: CLOSED (normal) → DEGRADED → OPEN (halted)."""
+
+    CLOSED = "closed"
+    DEGRADED = "degraded"
+    OPEN = "open"
+
+
+@dataclass
+class CircuitTransition:
+    """One circuit-state change, timestamped on the simulated clock."""
+
+    time: float
+    old: CircuitState
+    new: CircuitState
+    reason: str = ""
+
+    def line(self) -> str:
+        return (
+            f"{self.time:.6f}\t{self.old.value}->{self.new.value}"
+            f"\t{self.reason}"
+        )
+
+
+class H2Governor:
+    """Circuit breaker driving graceful H2 degradation."""
+
+    def __init__(
+        self,
+        config,
+        monitor: DeviceHealthMonitor,
+        clock: Clock,
+        log=None,
+    ):
+        self.config = config
+        self.monitor = monitor
+        self.clock = clock
+        self.log = log
+        self.state = CircuitState.CLOSED
+        self.transitions: List[CircuitTransition] = []
+        #: times the circuit tripped OPEN
+        self.trips = 0
+        #: half-open probe budgets granted while OPEN
+        self.probes = 0
+        self.probe_successes = 0
+        self.probe_failures = 0
+        self._probe_pending = False
+        self._backoff = config.probe_backoff
+        self._next_probe_at = float("inf")
+        self._close_streak = 0
+        monitor.add_listener(self._on_health)
+
+    # ------------------------------------------------------------------
+    def _on_health(self, transition: HealthTransition) -> None:
+        new = transition.new
+        if new is DeviceState.BROWNOUT:
+            self._trip(f"{transition.device} browned out: {transition.reason}")
+        elif new is DeviceState.DEGRADED:
+            if self.state is CircuitState.CLOSED:
+                self._to(
+                    CircuitState.DEGRADED,
+                    f"{transition.device} degraded: {transition.reason}",
+                )
+        elif new is DeviceState.HEALTHY:
+            # OPEN stays open until a probe cycle proves the path works;
+            # DEGRADED trusts the monitor's hysteresis and steps back.
+            if self.state is CircuitState.DEGRADED:
+                self._close(f"{transition.device} {transition.reason}")
+
+    def _trip(self, reason: str) -> None:
+        if self.state is CircuitState.OPEN:
+            return
+        self.trips += 1
+        self._probe_pending = False
+        self._close_streak = 0
+        self._backoff = self.config.probe_backoff
+        self._next_probe_at = self.clock.now + self._backoff
+        self._to(CircuitState.OPEN, reason)
+
+    def _close(self, reason: str) -> None:
+        self._close_streak = 0
+        self._to(CircuitState.CLOSED, reason)
+
+    def _to(self, new: CircuitState, reason: str = "") -> None:
+        if new is self.state:
+            return
+        old = self.state
+        self.state = new
+        self.transitions.append(
+            CircuitTransition(self.clock.now, old, new, reason)
+        )
+        if self.log is not None:
+            self.log.record_circuit(
+                self.clock.now, old.value, new.value, reason
+            )
+        self.clock.record_event(f"governor_{new.value}", 0.0)
+
+    # ------------------------------------------------------------------
+    def transfer_caps(self) -> Tuple[bool, float, Optional[int]]:
+        """What the threshold policy may do right now.
+
+        Returns ``(allow_unhinted, unhinted_budget_scale, hinted_budget)``
+        where a ``hinted_budget`` of ``None`` means unlimited.
+        """
+        if self.state is CircuitState.CLOSED:
+            return True, 1.0, None
+        if self.state is CircuitState.DEGRADED:
+            return True, self.config.degraded_budget_scale, None
+        # OPEN: unhinted halted; hinted capped.  Once the backoff expires
+        # the next decision becomes a half-open probe with a small budget.
+        if self.clock.now >= self._next_probe_at and not self._probe_pending:
+            self._probe_pending = True
+            self.probes += 1
+            return False, 0.0, int(self.config.probe_bytes)
+        if self._probe_pending:
+            return False, 0.0, int(self.config.probe_bytes)
+        return False, 0.0, int(self.config.open_hinted_cap)
+
+    def note_transfer_result(self, placed_bytes: int, denied: int) -> None:
+        """Major-GC feedback: did the granted budget actually place?"""
+        if self.state is CircuitState.OPEN:
+            if not self._probe_pending:
+                return
+            self._probe_pending = False
+            if denied == 0 and self.monitor.state is DeviceState.HEALTHY:
+                self.probe_successes += 1
+                self._close_streak = 1
+                self._to(
+                    CircuitState.DEGRADED,
+                    f"probe placed {placed_bytes}B cleanly",
+                )
+            else:
+                self.probe_failures += 1
+                self._backoff = min(
+                    self._backoff * self.config.probe_backoff_factor,
+                    self.config.probe_backoff_max,
+                )
+                self._next_probe_at = self.clock.now + self._backoff
+        elif self.state is CircuitState.DEGRADED:
+            if denied > 0:
+                self._trip(f"{denied} placements denied while degraded")
+            elif self.monitor.state is DeviceState.HEALTHY:
+                self._close_streak += 1
+                if self._close_streak >= self.config.close_streak:
+                    self._close(
+                        f"{self._close_streak} clean transfer cycles"
+                    )
+
+    # ------------------------------------------------------------------
+    def blocks_h2_caching(self) -> bool:
+        """Should the block manager avoid routing new cached data at H2?"""
+        return self.state is CircuitState.OPEN
+
+    def emergency_active(self, h1_occupancy: float) -> bool:
+        """Backpressure gate: circuit OPEN *and* H1 past the watermark."""
+        return (
+            self.state is CircuitState.OPEN
+            and h1_occupancy >= self.config.emergency_watermark
+        )
+
+    def timeline_digest(self) -> str:
+        """Canonical transition log, for determinism digests."""
+        return "\n".join(t.line() for t in self.transitions)
+
+    def describe(self) -> str:
+        return (
+            f"circuit={self.state.value} trips={self.trips} "
+            f"probes={self.probes} "
+            f"(ok={self.probe_successes}, failed={self.probe_failures})"
+        )

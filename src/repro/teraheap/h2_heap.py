@@ -133,7 +133,9 @@ class H2Heap:
         if (
             self.resilience is not None
             and self.resilience.plan.allocation_fault(
-                self.device.name, self.config.region_size
+                self.device.name,
+                self.config.region_size,
+                now=self.clock.now,
             )
         ):
             raise DeviceFullError(

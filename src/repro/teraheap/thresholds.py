@@ -26,6 +26,9 @@ class TransferDecision:
     #: byte budget for unhinted movement (None = unlimited)
     unhinted_budget: Optional[int]
     reason: str
+    #: byte budget for hinted movement (None = unlimited); only the H2
+    #: governor ever caps hinted moves, and only with the circuit open
+    hinted_budget: Optional[int] = None
 
 
 class ThresholdPolicy:
@@ -37,6 +40,7 @@ class ThresholdPolicy:
         high_threshold: float = 0.85,
         low_threshold: Optional[float] = 0.50,
         use_move_hint: bool = True,
+        governor=None,
     ):
         if not 0.0 < high_threshold <= 1.0:
             raise ValueError("high threshold must be in (0, 1]")
@@ -46,7 +50,12 @@ class ThresholdPolicy:
         self.high_threshold = high_threshold
         self.low_threshold = low_threshold
         self.use_move_hint = use_move_hint
+        #: optional :class:`~repro.teraheap.governor.H2Governor` whose
+        #: circuit state overrides pressure decisions
+        self.governor = governor
         self.pressure_transfers = 0
+        #: pressure transfers the governor halted (circuit open)
+        self.governor_halts = 0
 
     def decide(self, live_bytes: int) -> TransferDecision:
         """Pick the transfer plan given the live bytes found by marking."""
@@ -54,32 +63,72 @@ class ThresholdPolicy:
         if occupancy <= self.high_threshold:
             # No pressure: honour hints only (or nothing, in the no-hint
             # ablation, where *only* pressure ever moves objects).
-            return TransferDecision(
-                move_hinted=self.use_move_hint,
-                move_unhinted=False,
-                unhinted_budget=None,
-                reason="below high threshold",
+            return self._govern(
+                TransferDecision(
+                    move_hinted=self.use_move_hint,
+                    move_unhinted=False,
+                    unhinted_budget=None,
+                    reason="below high threshold",
+                )
             )
         # High pressure: move marked objects without waiting for h2_move().
         self.pressure_transfers += 1
         if self.low_threshold is None:
-            return TransferDecision(
-                move_hinted=True,
-                move_unhinted=True,
-                unhinted_budget=None,
-                reason="high threshold exceeded (no low threshold)",
+            return self._govern(
+                TransferDecision(
+                    move_hinted=True,
+                    move_unhinted=True,
+                    unhinted_budget=None,
+                    reason="high threshold exceeded (no low threshold)",
+                )
             )
         target_bytes = int(self.low_threshold * self.heap_capacity)
         budget = max(live_bytes - target_bytes, 0)
-        return TransferDecision(
-            move_hinted=True,
-            move_unhinted=True,
-            unhinted_budget=budget,
-            reason=(
-                f"high threshold exceeded; moving down to "
-                f"{self.low_threshold:.0%} occupancy"
-            ),
+        return self._govern(
+            TransferDecision(
+                move_hinted=True,
+                move_unhinted=True,
+                unhinted_budget=budget,
+                reason=(
+                    f"high threshold exceeded; moving down to "
+                    f"{self.low_threshold:.0%} occupancy"
+                ),
+            )
         )
+
+    def _govern(self, decision: TransferDecision) -> TransferDecision:
+        """Apply the H2 governor's circuit caps to a raw decision.
+
+        An OPEN circuit halts unhinted (pressure) transfers outright and
+        caps hinted moves; a DEGRADED circuit shrinks the unhinted
+        budget.  Pressure the governor suppresses is still *pressure* —
+        the backpressure path in the VM deals with the memory the
+        transfer would have freed.
+        """
+        if self.governor is None:
+            return decision
+        allow_unhinted, budget_scale, hinted_budget = (
+            self.governor.transfer_caps()
+        )
+        if hinted_budget is not None:
+            decision.hinted_budget = hinted_budget
+        if decision.move_unhinted and not allow_unhinted:
+            decision.move_unhinted = False
+            decision.unhinted_budget = 0
+            decision.reason += "; governor halted pressure transfer (circuit open)"
+            self.governor_halts += 1
+        elif (
+            decision.move_unhinted
+            and budget_scale < 1.0
+            and decision.unhinted_budget is not None
+        ):
+            decision.unhinted_budget = int(
+                decision.unhinted_budget * budget_scale
+            )
+            decision.reason += (
+                f"; governor scaled unhinted budget x{budget_scale:g}"
+            )
+        return decision
 
 
 class AdaptiveThresholdPolicy(ThresholdPolicy):
@@ -112,9 +161,11 @@ class AdaptiveThresholdPolicy(ThresholdPolicy):
         high_threshold: float = 0.85,
         low_threshold: Optional[float] = 0.50,
         use_move_hint: bool = True,
+        governor=None,
     ):
         super().__init__(
-            heap_capacity, high_threshold, low_threshold, use_move_hint
+            heap_capacity, high_threshold, low_threshold, use_move_hint,
+            governor=governor,
         )
         self.configured_high = high_threshold
         self.configured_low = low_threshold

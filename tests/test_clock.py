@@ -104,7 +104,7 @@ def test_record_event():
 
 def test_breakdown_keys_match_paper():
     clock = Clock()
-    assert set(clock.breakdown()) == {"other", "sd_io", "minor_gc", "major_gc"}
+    assert set(clock.breakdown()) == {"other", "sd_io", "minor_gc", "major_gc", "alloc_stall"}
 
 
 def test_charge_bucket_none_uses_current_context():

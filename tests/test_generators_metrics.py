@@ -83,7 +83,7 @@ class TestReporting:
         assert r.total > 0
         assert r.minor_gcs == 1
         assert not r.oom
-        assert set(r.breakdown) == {"other", "sd_io", "minor_gc", "major_gc"}
+        assert set(r.breakdown) == {"other", "sd_io", "minor_gc", "major_gc", "alloc_stall"}
 
     def test_share(self):
         r = ExperimentResult(
