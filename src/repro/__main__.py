@@ -28,6 +28,7 @@ from . import faults as faults_mod
 from .faults.plan import FaultConfig
 from .experiments import (
     barrier,
+    bench,
     brownout,
     chaoskill,
     fig06,
@@ -59,6 +60,7 @@ EXPERIMENTS = [
     "gcscale",
     "chaoskill",
     "brownout",
+    "bench",
 ]
 
 
@@ -199,6 +201,9 @@ def main(argv=None) -> int:
         if args.scale < 1.0:
             brownout_args.append("--smoke")
         status = brownout.main(brownout_args)
+    elif args.experiment == "bench":
+        # The pinned perf-trajectory matrix; writes BENCH_0007.json.
+        status = bench.main([])
     elif args.experiment == "fig13b":
         results = fig13.run_dataset_scaling(scale=args.scale)
         for workload, per_system in results.items():

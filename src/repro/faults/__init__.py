@@ -133,6 +133,8 @@ def registered_auditors() -> List[object]:
 
 def reset_defaults() -> None:
     """Clear global defaults, registries and folded totals (teardown)."""
+    from ..heap.store import reset_store
+
     global _default_fault_config, _default_governor_config
     global _default_audit_level
     _default_fault_config = None
@@ -141,6 +143,7 @@ def reset_defaults() -> None:
     _policies.clear()
     _auditors.clear()
     _summary_totals.clear()
+    reset_store()
 
 
 def reset_registries() -> None:
@@ -152,11 +155,17 @@ def reset_registries() -> None:
     whole process's aggregate at the end.  The armed defaults stay
     installed — only the per-VM registries are drained.
     """
+    from ..heap.store import reset_store
+
     folded = resilience_summary()
     _summary_totals.clear()
     _summary_totals.update(folded)
     _policies.clear()
     _auditors.clear()
+    # The object store is process-global like the registries: dropping it
+    # restarts the oid counter and releases every column, so back-to-back
+    # configs neither leak heap graphs nor inflate oids between cells.
+    reset_store()
 
 
 def _empty_totals() -> Dict[str, float]:

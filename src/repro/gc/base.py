@@ -190,7 +190,12 @@ class Collector:
     name = "collector"
 
     def __init__(self) -> None:
+        from ..heap.store import get_store
+
         self.stats = GCStats()
+        #: the struct-of-arrays store backing this VM's objects; trace
+        #: kernels index its flat columns instead of chasing handles
+        self.store = get_store()
         self.mark_epoch = 0
         #: engine phase executions of the in-flight cycle
         self._cycle_execs: list = []

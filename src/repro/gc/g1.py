@@ -24,6 +24,7 @@ from ..errors import OutOfMemoryError
 from ..heap.heap import H1_BASE
 from ..heap.object_model import HeapObject, SpaceId
 from ..heap.roots import RootSet
+from ..heap.store import SPACE_EDEN, SPACE_FREED, SPACE_OLD, SPACE_TO
 from .base import Collector, GCCycle
 from .engine import BatchController, GCTaskEngine, PhaseExecution, TaskBag
 
@@ -270,73 +271,82 @@ class G1Collector(Collector):
         return execution
 
     # ------------------------------------------------------------------
-    def _trace_young(self, epoch: int) -> List[HeapObject]:
+    def _trace_young(self, epoch: int) -> List[int]:
         cost = self.cost
+        st = self.store
+        space_arr = st.space
+        epoch_arr = st.mark_epoch
+        refs_arr = st.refs
+        sf_arr = st.scan_factor
+        visit_cost = cost.gc_visit_cost
+        ref_cost = cost.gc_ref_cost
         batch = self.batch.scan_batch_objects
         bag = TaskBag()
         remset_scan = bag.batcher("g1-remset", "root", batch)
-        stack = [o for o in self.roots if o.in_young]
+        stack = [o.oid for o in self.roots if space_arr[o.oid] <= SPACE_TO]
         for oid in list(self.remset_sources):
             src = self.remset_objects.get(oid)
-            if src is None or src.space is not SpaceId.OLD:
+            if src is None or space_arr[oid] != SPACE_OLD:
                 self.remset_sources.discard(oid)
                 self.remset_objects.pop(oid, None)
                 continue
-            remset_scan.add(
-                cost.gc_visit_cost + cost.gc_ref_cost * len(src.refs)
-            )
+            targets = refs_arr[oid]
+            remset_scan.add(visit_cost + ref_cost * len(targets))
             has_young = False
-            for ref in src.refs:
-                if ref.in_young:
+            for t in targets:
+                if space_arr[t] <= SPACE_TO:
                     has_young = True
-                    stack.append(ref)
+                    stack.append(t)
             if not has_young:
                 # Precise cleaning: the entry carries no young refs.
                 self.remset_sources.discard(oid)
                 self.remset_objects.pop(oid, None)
         remset_scan.flush()
         scan = bag.batcher("g1-young-scan", "scan", batch)
-        live: List[HeapObject] = []
+        # Order-preserving DFS over the store columns: identical
+        # stack-pop order to the old handle traversal, so scan-batch
+        # boundaries and the engine schedule are unchanged.
+        live: List[int] = []
         while stack:
-            obj = stack.pop()
-            if obj.mark_epoch >= epoch or not obj.in_young:
+            oid = stack.pop()
+            if epoch_arr[oid] >= epoch or space_arr[oid] > SPACE_TO:
                 continue
-            obj.mark_epoch = epoch
-            live.append(obj)
-            scan.add(
-                cost.gc_visit_cost * obj.scan_factor
-                + cost.gc_ref_cost * len(obj.refs)
-            )
-            for ref in obj.refs:
-                if ref.in_young and ref.mark_epoch < epoch:
-                    stack.append(ref)
+            epoch_arr[oid] = epoch
+            live.append(oid)
+            targets = refs_arr[oid]
+            scan.add(visit_cost * sf_arr[oid] + ref_cost * len(targets))
+            for t in targets:
+                if space_arr[t] <= SPACE_TO and epoch_arr[t] < epoch:
+                    stack.append(t)
         scan.flush()
         self._run_phase(bag, "g1-young-trace")
         return live
 
-    def _evacuate(
-        self, objects: List[HeapObject], state: RegionState
-    ) -> bool:
-        """Copy ``objects`` into fresh regions of ``state``."""
+    def _evacuate(self, oids: List[int], state: RegionState) -> bool:
+        """Copy the objects in ``oids`` into fresh regions of ``state``."""
         cost = self.cost
+        st = self.store
+        space_arr = st.space
+        size_arr = st.size
+        handle = st.handle
+        dest_code = SPACE_EDEN if state in _YOUNG_STATES else SPACE_OLD
         target = self.heap.take_free_region(state)
-        if target is None and objects:
+        if target is None and oids:
             return False
         bag = TaskBag()
         copier = bag.batcher(
             "g1-copy", "copy", self.batch.copy_batch_objects
         )
-        for obj in objects:
+        for oid in oids:
+            obj = handle(oid)
             while target is not None and not target.allocate(obj):
                 target = self.heap.take_free_region(state)
             if target is None:
                 copier.flush()
                 self._run_phase(bag, "g1-evacuate")
                 return False
-            obj.space = (
-                SpaceId.EDEN if state in _YOUNG_STATES else SpaceId.OLD
-            )
-            copier.add(obj.size / cost.gc_copy_bw)
+            space_arr[oid] = dest_code
+            copier.add(size_arr[oid] / cost.gc_copy_bw)
         copier.flush()
         self._run_phase(bag, "g1-evacuate")
         return True
@@ -348,18 +358,24 @@ class G1Collector(Collector):
         with self.clock.context(Bucket.MINOR_GC):
             epoch = self.next_epoch()
             self.begin_parallel_cycle()
+            st = self.store
+            space_arr = st.space
+            epoch_arr = st.mark_epoch
+            refs_arr = st.refs
+            age_arr = st.age
             live = self._trace_young(epoch)
             young = heap.young_regions()
             for region in young:
                 for obj in region.objects:
-                    if obj.mark_epoch < epoch:
-                        obj.space = SpaceId.FREED
+                    if epoch_arr[obj.oid] < epoch:
+                        space_arr[obj.oid] = SPACE_FREED
                 region.reset()
             heap._current_eden = None
-            survivors = [o for o in live if o.age + 1 < self.config.tenuring_threshold]
-            promoted = [o for o in live if o.age + 1 >= self.config.tenuring_threshold]
-            for obj in live:
-                obj.age += 1
+            tenuring = self.config.tenuring_threshold
+            survivors = [o for o in live if age_arr[o] + 1 < tenuring]
+            promoted = [o for o in live if age_arr[o] + 1 >= tenuring]
+            for oid in live:
+                age_arr[oid] += 1
             # Both evacuations run even if the first fails: real G1
             # keeps copying into whatever regions remain (and pays the
             # copy cost) before declaring the scavenge failed.
@@ -367,10 +383,10 @@ class G1Collector(Collector):
             promoted_ok = self._evacuate(promoted, RegionState.OLD)
             # Promotion creates old-to-young references no barrier saw;
             # real G1 updates remembered sets during evacuation.
-            for obj in promoted:
-                if any(r.in_young for r in obj.refs):
-                    self.remset_sources.add(obj.oid)
-                    self.remset_objects[obj.oid] = obj
+            for oid in promoted:
+                if any(space_arr[t] <= SPACE_TO for t in refs_arr[oid]):
+                    self.remset_sources.add(oid)
+                    self.remset_objects[oid] = st.handle(oid)
             full_duration = 0.0
             if not (survivors_ok and promoted_ok):
                 # Evacuation failure: fall back to a full collection.
@@ -387,8 +403,8 @@ class G1Collector(Collector):
                 kind="minor",
                 start_time=start,
                 duration=duration,
-                live_bytes=sum(o.size for o in live),
-                promoted_bytes=sum(o.size for o in promoted),
+                live_bytes=st.sum_sizes(live),
+                promoted_bytes=st.sum_sizes(promoted),
             )
             self.apply_parallel_stats(cycle, self._workers)
             self.stats.record(cycle)
@@ -396,7 +412,7 @@ class G1Collector(Collector):
             return cycle
 
     # ------------------------------------------------------------------
-    def _mark_all(self, epoch: int) -> List[HeapObject]:
+    def _mark_all(self, epoch: int) -> List[int]:
         """Concurrent marking racing the mutator, closed by a STW remark.
 
         The marking scan is decomposed at *full* per-object cost and
@@ -410,25 +426,32 @@ class G1Collector(Collector):
         re-scan) is a stop-the-world phase on the full worker pool.
         """
         cost = self.cost
+        st = self.store
+        space_arr = st.space
+        epoch_arr = st.mark_epoch
+        refs_arr = st.refs
+        sf_arr = st.scan_factor
+        visit_cost = cost.gc_visit_cost
+        ref_cost = cost.gc_ref_cost
         bag = TaskBag()
         mark = bag.batcher(
             "g1-mark", "scan", self.batch.scan_batch_objects
         )
-        stack = [o for o in self.roots if o.space is not SpaceId.FREED]
-        live: List[HeapObject] = []
+        stack = [
+            o.oid for o in self.roots if space_arr[o.oid] != SPACE_FREED
+        ]
+        live: List[int] = []
         while stack:
-            obj = stack.pop()
-            if obj.mark_epoch >= epoch:
+            oid = stack.pop()
+            if epoch_arr[oid] >= epoch:
                 continue
-            obj.mark_epoch = epoch
-            live.append(obj)
-            mark.add(
-                cost.gc_visit_cost * obj.scan_factor
-                + cost.gc_ref_cost * len(obj.refs)
-            )
-            for ref in obj.refs:
-                if ref.mark_epoch < epoch:
-                    stack.append(ref)
+            epoch_arr[oid] = epoch
+            live.append(oid)
+            targets = refs_arr[oid]
+            mark.add(visit_cost * sf_arr[oid] + ref_cost * len(targets))
+            for t in targets:
+                if epoch_arr[t] < epoch:
+                    stack.append(t)
         mark.flush()
         other_now = self.clock.total(Bucket.OTHER)
         budget = max(0.0, other_now - self._concurrent_baseline)
@@ -457,12 +480,12 @@ class G1Collector(Collector):
             satb = remark_bag.batcher(
                 "g1-remark-satb", "scan", self.batch.scan_batch_objects
             )
-            for obj in live:
+            for oid in live:
                 satb.add(
                     fraction
                     * (
-                        cost.gc_visit_cost * obj.scan_factor
-                        + cost.gc_ref_cost * len(obj.refs)
+                        visit_cost * sf_arr[oid]
+                        + ref_cost * len(refs_arr[oid])
                     )
                 )
             satb.flush()
@@ -477,24 +500,31 @@ class G1Collector(Collector):
         with self.clock.context(Bucket.MAJOR_GC):
             epoch = self.next_epoch()
             self.begin_parallel_cycle()
+            st = self.store
+            space_arr = st.space
+            epoch_arr = st.mark_epoch
             live = self._mark_all(epoch)
-            live_bytes = sum(o.size for o in live)
+            live_bytes = st.sum_sizes(live)
 
             # Free dead humongous runs eagerly (no copying needed).
             for region in heap.regions:
                 if region.state is RegionState.HUMONGOUS_START:
-                    obj = region.objects[0]
-                    if obj.mark_epoch < epoch:
-                        obj.space = SpaceId.FREED
+                    oid = region.objects[0].oid
+                    if epoch_arr[oid] < epoch:
+                        space_arr[oid] = SPACE_FREED
                         heap.free_humongous_run(region)
 
             # Garbage-first: evacuate the old regions with least live data.
             candidates = []
             for region in heap.old_regions():
                 region_live = [
-                    o for o in region.objects if o.mark_epoch >= epoch
+                    o.oid
+                    for o in region.objects
+                    if epoch_arr[o.oid] >= epoch
                 ]
-                candidates.append((sum(o.size for o in region_live), region, region_live))
+                candidates.append(
+                    (st.sum_sizes(region_live), region, region_live)
+                )
             candidates.sort(key=lambda item: item[0])
             budget = int(
                 heap.capacity * self.config.g1.mixed_collection_fraction
@@ -505,8 +535,8 @@ class G1Collector(Collector):
                     break
                 taken += region.size
                 for obj in region.objects:
-                    if obj.mark_epoch < epoch:
-                        obj.space = SpaceId.FREED
+                    if epoch_arr[obj.oid] < epoch:
+                        space_arr[obj.oid] = SPACE_FREED
                 region.reset()
                 if not self._evacuate(region_live, RegionState.OLD):
                     self._full_collection()
@@ -531,29 +561,35 @@ class G1Collector(Collector):
         self.full_collections += 1
         epoch = self.next_epoch()
         cost = self.cost
+        st = self.store
+        space_arr = st.space
+        epoch_arr = st.mark_epoch
+        refs_arr = st.refs
+        sf_arr = st.scan_factor
+        size_arr = st.size
+        visit_cost = cost.gc_visit_cost
+        ref_cost = cost.gc_ref_cost
         bag = TaskBag()
         mark = bag.batcher(
             "g1-full-mark", "scan", self.batch.scan_batch_objects
         )
-        stack = [o for o in self.roots if o.space is not SpaceId.FREED]
-        live: List[HeapObject] = []
+        stack = [
+            o.oid for o in self.roots if space_arr[o.oid] != SPACE_FREED
+        ]
         while stack:
-            obj = stack.pop()
-            if obj.mark_epoch >= epoch:
+            oid = stack.pop()
+            if epoch_arr[oid] >= epoch:
                 continue
-            obj.mark_epoch = epoch
-            live.append(obj)
+            epoch_arr[oid] = epoch
+            targets = refs_arr[oid]
             # Scan cost honours the object's scan factor, consistent
             # with _trace_young and _mark_all: full GCs must not
             # under-charge scan-heavy objects.
-            mark.add(
-                cost.gc_visit_cost * obj.scan_factor
-                + cost.gc_ref_cost * len(obj.refs)
-            )
-            stack.extend(r for r in obj.refs if r.mark_epoch < epoch)
+            mark.add(visit_cost * sf_arr[oid] + ref_cost * len(targets))
+            stack.extend(t for t in targets if epoch_arr[t] < epoch)
         mark.flush()
         # Compact every non-humongous live object into fresh old regions.
-        movable = []
+        movable: List[int] = []
         for region in heap.regions:
             if region.state in (
                 RegionState.HUMONGOUS_START,
@@ -562,16 +598,16 @@ class G1Collector(Collector):
                 if (
                     region.state is RegionState.HUMONGOUS_START
                     and region.objects
-                    and region.objects[0].mark_epoch < epoch
+                    and epoch_arr[region.objects[0].oid] < epoch
                 ):
-                    region.objects[0].space = SpaceId.FREED
+                    space_arr[region.objects[0].oid] = SPACE_FREED
                     heap.free_humongous_run(region)
                 continue
             for obj in region.objects:
-                if obj.mark_epoch >= epoch:
-                    movable.append(obj)
+                if epoch_arr[obj.oid] >= epoch:
+                    movable.append(obj.oid)
                 else:
-                    obj.space = SpaceId.FREED
+                    space_arr[obj.oid] = SPACE_FREED
             region.reset()
         heap._current_eden = None
         # Sliding the survivors out of their regions before re-placement
@@ -581,15 +617,15 @@ class G1Collector(Collector):
             "compact",
             self.batch.copy_batch_objects,
         )
-        for obj in movable:
-            compact.add(obj.size / cost.gc_copy_bw)
+        for oid in movable:
+            compact.add(size_arr[oid] / cost.gc_copy_bw)
         compact.flush()
         self._run_phase(bag, "g1-full-mark")
         if not self._evacuate(movable, RegionState.OLD):
             raise OutOfMemoryError(
                 "G1 full collection cannot fit live data "
                 "(humongous fragmentation)",
-                requested=sum(o.size for o in movable),
+                requested=st.sum_sizes(movable),
             )
         self.remset_sources.clear()
         self.remset_objects.clear()

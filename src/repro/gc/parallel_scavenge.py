@@ -26,12 +26,21 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from ..clock import Bucket, Clock
 from ..config import VMConfig
 from ..errors import OutOfMemoryError
 from ..heap.heap import ManagedHeap
 from ..heap.object_model import HeapObject, SpaceId
 from ..heap.roots import RootSet
+from ..heap.store import (
+    NO_SPACE,
+    SPACE_EDEN,
+    SPACE_FREED,
+    SPACE_OLD,
+    SPACE_TO,
+)
 from .base import Collector, GCCycle
 from .engine import (
     BatchController,
@@ -40,6 +49,12 @@ from .engine import (
     TaskBag,
     chunked_sweep,
 )
+
+
+# Sliding-compaction sort rank by space code (EDEN, FROM, TO, OLD, H2,
+# FREED): old-gen residents keep their address order ahead of any young
+# survivors caught by a full GC.
+_SPACE_RANK = (1, 2, 3, 0, 4, 4)
 
 
 class PromotionFailure(Exception):
@@ -107,8 +122,8 @@ class ParallelScavenge(Collector):
     def on_forward_reference(self, target: HeapObject) -> None:
         """Called for each H1-to-H2 edge found during major marking."""
 
-    def minor_h2_roots(self) -> List[HeapObject]:
-        """Young H1 objects kept alive by H2 backward references."""
+    def minor_h2_roots(self) -> List[int]:
+        """Oids of young H1 objects kept alive by H2 backward references."""
         return []
 
     def minor_h2_post_copy(self, relocated: Set[int]) -> None:
@@ -117,12 +132,12 @@ class ParallelScavenge(Collector):
     def pre_major_mark(self) -> None:
         """Reset H2 region live bits (start of marking)."""
 
-    def major_h2_roots(self) -> List[HeapObject]:
-        """H1 objects referenced from H2, via the H2 card table."""
+    def major_h2_roots(self) -> List[int]:
+        """Oids of H1 objects referenced from H2, via the H2 card table."""
         return []
 
     def select_h2_movers(
-        self, live: List[HeapObject], live_bytes: int, epoch: int
+        self, live_oids: List[int], live_bytes: int, epoch: int
     ) -> "List[Tuple[HeapObject, str]]":
         """Choose (object, label) pairs to transfer to H2 this GC."""
         return []
@@ -161,6 +176,18 @@ class ParallelScavenge(Collector):
         heap = self.heap
         cost = self.cost
         eng_cfg = self.config.engine
+        # Hot columns of the object store: the trace/copy loops below run
+        # over raw oids and these flat arrays instead of object handles.
+        st = self.store
+        space_arr = st.space
+        epoch_arr = st.mark_epoch
+        refs_arr = st.refs
+        size_arr = st.size
+        sf_arr = st.scan_factor
+        age_arr = st.age
+        addr_arr = st.address
+        visit_cost = cost.gc_visit_cost
+        ref_cost = cost.gc_ref_cost
         start = self.clock.now
         with self.clock.context(Bucket.MINOR_GC):
             epoch = self.next_epoch()
@@ -169,26 +196,29 @@ class ParallelScavenge(Collector):
 
             # --- Roots: explicit roots + dirty-card old objects + H2 ----
             bag = TaskBag()
-            roots: List[HeapObject] = []
+            root_oids: List[int] = []
             root_scan = bag.batcher("minor-roots", "root", 128)
             for obj in self.roots:
                 root_scan.add(cost.gc_root_scan_cost)
-                if obj.in_young:
-                    roots.append(obj)
+                if space_arr[obj.oid] <= SPACE_TO:
+                    root_oids.append(obj.oid)
             root_scan.flush()
-            scanned_cards: List[Tuple[int, List[HeapObject]]] = []
+            scanned_cards: List[Tuple[int, List[int]]] = []
             card_work: Dict[int, float] = {}
             for card in heap.card_table.dirty_cards():
                 lo, hi = heap.card_table.card_range(card)
-                on_card = heap.old.objects_overlapping(lo, hi)
+                on_card = [
+                    o.oid for o in heap.old.objects_overlapping(lo, hi)
+                ]
                 scanned_cards.append((card, on_card))
                 work = 0.0
-                for old_obj in on_card:
-                    work += cost.gc_visit_cost
-                    work += cost.gc_ref_cost * len(old_obj.refs)
-                    for ref in old_obj.refs:
-                        if ref.in_young:
-                            roots.append(ref)
+                for old_oid in on_card:
+                    targets = refs_arr[old_oid]
+                    work += visit_cost
+                    work += ref_cost * len(targets)
+                    for t in targets:
+                        if space_arr[t] <= SPACE_TO:
+                            root_oids.append(t)
                 card_work[card] = work
             chunked_sweep(
                 bag,
@@ -199,29 +229,32 @@ class ParallelScavenge(Collector):
                 extra=card_work,
             )
             self._run_phase(bag, "minor-roots")
-            h2_roots = self.minor_h2_roots()
-            roots.extend(h2_roots)
+            root_oids.extend(self.minor_h2_roots())
 
             # --- Trace live young objects -------------------------------
+            # Order-preserving DFS kernel: exact stack-pop order of the
+            # old per-object traversal, because the scan batcher folds
+            # per-visit costs into engine tasks *in visit order* and the
+            # determinism digests gate on the resulting schedule.
             bag = TaskBag()
             scan = bag.batcher(
                 "minor-scan", "scan", self.batch.scan_batch_objects
             )
-            live_young: List[HeapObject] = []
-            stack = [o for o in roots if o.in_young]
+            live_young: List[int] = []
+            stack = [oid for oid in root_oids if space_arr[oid] <= SPACE_TO]
             while stack:
-                obj = stack.pop()
-                if obj.mark_epoch >= epoch:
+                oid = stack.pop()
+                if epoch_arr[oid] >= epoch:
                     continue
-                obj.mark_epoch = epoch
-                live_young.append(obj)
+                epoch_arr[oid] = epoch
+                live_young.append(oid)
+                targets = refs_arr[oid]
                 scan.add(
-                    cost.gc_visit_cost * obj.scan_factor
-                    + cost.gc_ref_cost * len(obj.refs)
+                    visit_cost * sf_arr[oid] + ref_cost * len(targets)
                 )
-                for ref in obj.refs:
-                    if ref.in_young and ref.mark_epoch < epoch:
-                        stack.append(ref)
+                for t in targets:
+                    if space_arr[t] <= SPACE_TO and epoch_arr[t] < epoch:
+                        stack.append(t)
                     # Old-gen and H2 targets are not traversed in a
                     # scavenge; H2 targets are additionally fenced.
             scan.flush()
@@ -233,55 +266,66 @@ class ParallelScavenge(Collector):
                 "minor-copy", "copy", self.batch.copy_batch_objects
             )
             to_space = heap.survivor_to
-            promote: List[HeapObject] = []
-            survivors: List[HeapObject] = []
+            promote: List[int] = []
+            survivors: List[int] = []
             planned_survivor_bytes = 0
-            for obj in live_young:
-                obj.age += 1
+            tenuring = self.config.tenuring_threshold
+            for oid in live_young:
+                age_arr[oid] += 1
+                size = size_arr[oid]
                 if (
-                    obj.age < self.config.tenuring_threshold
-                    and planned_survivor_bytes + obj.size <= to_space.capacity
+                    age_arr[oid] < tenuring
+                    and planned_survivor_bytes + size <= to_space.capacity
                 ):
-                    survivors.append(obj)
-                    planned_survivor_bytes += obj.size
+                    survivors.append(oid)
+                    planned_survivor_bytes += size
                 else:
-                    promote.append(obj)
-            if sum(o.size for o in promote) > heap.old.free:
+                    promote.append(oid)
+            if st.sum_sizes(promote) > heap.old.free:
                 # Promotion failure: abandon the scavenge, caller runs a
                 # full collection instead.  Root and trace work is already
                 # charged; no copying happened yet.
                 raise PromotionFailure()
 
-            dead = [
-                o
-                for o in heap.eden.objects + heap.survivor_from.objects
-                if o.mark_epoch < epoch
-            ]
-            reclaimed = sum(o.size for o in dead)
-            for obj in dead:
-                obj.space = SpaceId.FREED
+            # Vectorized dead sweep: everything in eden/from not marked
+            # this epoch is garbage.
+            young_oids = np.concatenate(
+                (heap.eden.oid_array(), heap.survivor_from.oid_array())
+            )
+            dead = young_oids[~st.live_mask(young_oids, epoch)]
+            reclaimed = st.sum_sizes(dead)
+            st.set_space_batch(dead, SPACE_FREED)
 
             heap.eden.reset()
             heap.survivor_from.reset()
             to_space.reset()
+            copy_hook = (
+                None
+                if type(self).on_minor_copy
+                is ParallelScavenge.on_minor_copy
+                else self.on_minor_copy
+            )
             relocated: Set[int] = set()
-            for obj in survivors:
-                if not to_space.allocate(obj):
-                    promote.append(obj)
+            handle = st.handle
+            for oid in survivors:
+                if not to_space.allocate(handle(oid)):
+                    promote.append(oid)
                     continue
-                copier.add(obj.size / cost.gc_copy_bw)
-                relocated.add(obj.oid)
-                self.on_minor_copy(obj)
+                copier.add(size_arr[oid] / cost.gc_copy_bw)
+                relocated.add(oid)
+                if copy_hook is not None:
+                    copy_hook(handle(oid))
             promoted_bytes = 0
-            for obj in promote:
-                if not heap.old.allocate(obj):
+            for oid in promote:
+                if not heap.old.allocate(handle(oid)):
                     copier.flush()
                     self._run_phase(copy_bag, "minor-copy")
                     raise PromotionFailure()
-                copier.add(obj.size / cost.gc_copy_bw)
-                promoted_bytes += obj.size
-                relocated.add(obj.oid)
-                self.on_minor_copy(obj)
+                copier.add(size_arr[oid] / cost.gc_copy_bw)
+                promoted_bytes += size_arr[oid]
+                relocated.add(oid)
+                if copy_hook is not None:
+                    copy_hook(handle(oid))
             heap.swap_survivors()
             copier.flush()
             self._run_phase(copy_bag, "minor-copy")
@@ -298,14 +342,15 @@ class ParallelScavenge(Collector):
                 # the first object's header card instead would lose
                 # coverage when objects span card boundaries).
                 if any(
-                    any(r.in_young for r in old_obj.refs)
-                    for old_obj in on_card
+                    space_arr[t] <= SPACE_TO
+                    for old_oid in on_card
+                    for t in refs_arr[old_oid]
                 ):
                     continue
                 heap.card_table.clear(card)
-            for obj in promote:
-                if any(r.in_young for r in obj.refs):
-                    heap.card_table.mark(obj.address)
+            for oid in promote:
+                if any(space_arr[t] <= SPACE_TO for t in refs_arr[oid]):
+                    heap.card_table.mark(addr_arr[oid])
 
             self.minor_h2_post_copy(relocated)
 
@@ -314,7 +359,7 @@ class ParallelScavenge(Collector):
                 kind="minor",
                 start_time=start,
                 duration=duration,
-                live_bytes=sum(o.size for o in live_young),
+                live_bytes=st.sum_sizes(live_young),
                 reclaimed_bytes=reclaimed,
                 promoted_bytes=promoted_bytes,
                 old_occupancy_after=heap.old.occupancy,
@@ -342,42 +387,73 @@ class ParallelScavenge(Collector):
             # ---------------- Phase 1: marking --------------------------
             t0 = self.clock.now
             with self.clock.sub_context("marking"):
+                st = self.store
+                space_arr = st.space
+                epoch_arr = st.mark_epoch
+                refs_arr = st.refs
+                sf_arr = st.scan_factor
+                visit_cost = cost.gc_visit_cost
+                ref_cost = cost.gc_ref_cost
+                handle = st.handle
+                # Hook dispatch: hoisting the no-op defaults out of the
+                # trace loop saves a handle lookup per visit; subclasses
+                # that override (Panthera NVM charges, TeraHeap fences)
+                # still see every object they used to.
+                visit_hook = (
+                    None
+                    if type(self).on_mark_visit
+                    is ParallelScavenge.on_mark_visit
+                    else self.on_mark_visit
+                )
+                fwd_hook = (
+                    None
+                    if type(self).on_forward_reference
+                    is ParallelScavenge.on_forward_reference
+                    else self.on_forward_reference
+                )
                 bag = TaskBag()
                 mark = bag.batcher(
                     "major-mark", "scan", self.batch.scan_batch_objects
                 )
                 self.pre_major_mark()
-                stack: List[HeapObject] = []
+                stack: List[int] = []
                 for obj in self.roots:
                     if obj.in_h1:
-                        stack.append(obj)
+                        stack.append(obj.oid)
                     elif self.is_fenced(obj):
                         # Stack/static roots referencing H2 directly count
                         # as forward references: they pin the region.
                         self.on_forward_reference(obj)
                 stack.extend(self.major_h2_roots())
-                live: List[HeapObject] = []
+                # Order-preserving DFS kernel over the store's columns:
+                # identical stack-pop visit order (and therefore batch
+                # boundaries and engine schedules) to the old per-object
+                # traversal.  The fence check is inlined: H2/FREED codes
+                # sort above every H1 code.
+                live: List[int] = []
                 while stack:
-                    obj = stack.pop()
-                    if obj.mark_epoch >= epoch or not obj.in_h1:
+                    oid = stack.pop()
+                    if epoch_arr[oid] >= epoch or space_arr[oid] > SPACE_OLD:
                         continue
-                    obj.mark_epoch = epoch
-                    live.append(obj)
+                    epoch_arr[oid] = epoch
+                    live.append(oid)
+                    targets = refs_arr[oid]
                     mark.add(
-                        cost.gc_visit_cost * obj.scan_factor
-                        + cost.gc_ref_cost * len(obj.refs)
+                        visit_cost * sf_arr[oid] + ref_cost * len(targets)
                     )
-                    self.on_mark_visit(obj)
-                    for ref in obj.refs:
-                        if self.is_fenced(ref):
+                    if visit_hook is not None:
+                        visit_hook(handle(oid))
+                    for t in targets:
+                        if space_arr[t] > SPACE_OLD:
                             # Fence: never cross from H1 into H2.
-                            self.on_forward_reference(ref)
+                            if fwd_hook is not None:
+                                fwd_hook(handle(t))
                             continue
-                        if ref.mark_epoch < epoch:
-                            stack.append(ref)
+                        if epoch_arr[t] < epoch:
+                            stack.append(t)
                 mark.flush()
                 self._run_phase(bag, "major-mark", workers=workers)
-                live_bytes = sum(o.size for o in live)
+                live_bytes = st.sum_sizes(live)
                 movers = self.select_h2_movers(live, live_bytes, epoch)
                 self.after_marking(epoch)
             phases["marking"] = self.clock.now - t0
@@ -394,16 +470,19 @@ class ParallelScavenge(Collector):
                 # Sliding compaction: preserve address order so the
                 # stable prefix of long-lived data (e.g. the cached
                 # partitions at the bottom of the old gen) is not
-                # rewritten every major GC.
-                space_rank = {
-                    SpaceId.OLD: 0,
-                    SpaceId.EDEN: 1,
-                    SpaceId.FROM: 2,
-                    SpaceId.TO: 3,
-                }
+                # rewritten every major GC.  Rank by space code:
+                # OLD first, then EDEN/FROM/TO.
+                size_arr = st.size
+                addr_arr = st.address
+                fwd_addr_arr = st.forward_address
+                fwd_space_arr = st.forward_space
+                space_rank = _SPACE_RANK
                 stayers = sorted(
-                    (o for o in live if o.oid not in mover_ids),
-                    key=lambda o: (space_rank.get(o.space, 4), o.address),
+                    (oid for oid in live if oid not in mover_ids),
+                    key=lambda oid: (
+                        space_rank[space_arr[oid]],
+                        addr_arr[oid],
+                    ),
                 )
                 bag = TaskBag()
                 forward = bag.batcher(
@@ -414,7 +493,7 @@ class ParallelScavenge(Collector):
                 for _ in live:
                     forward.add(cost.gc_forward_cost)
                 forward.flush()
-                total_stay = sum(o.size for o in stayers)
+                total_stay = st.sum_sizes(stayers)
                 if total_stay > heap.old.capacity + heap.eden.capacity:
                     raise OutOfMemoryError(
                         "live data exceeds heap after full GC",
@@ -423,19 +502,21 @@ class ParallelScavenge(Collector):
                     )
                 old_cursor = heap.old.base
                 eden_cursor = heap.eden.base
-                in_old: List[HeapObject] = []
-                in_eden: List[HeapObject] = []
-                for obj in stayers:
-                    if old_cursor + obj.size <= heap.old.end:
-                        obj.forward_address = old_cursor
-                        obj.forward_space = SpaceId.OLD
-                        old_cursor += obj.size
-                        in_old.append(obj)
+                in_old: List[int] = []
+                in_eden: List[int] = []
+                old_end = heap.old.end
+                for oid in stayers:
+                    size = size_arr[oid]
+                    if old_cursor + size <= old_end:
+                        fwd_addr_arr[oid] = old_cursor
+                        fwd_space_arr[oid] = SPACE_OLD
+                        old_cursor += size
+                        in_old.append(oid)
                     else:
-                        obj.forward_address = eden_cursor
-                        obj.forward_space = SpaceId.EDEN
-                        eden_cursor += obj.size
-                        in_eden.append(obj)
+                        fwd_addr_arr[oid] = eden_cursor
+                        fwd_space_arr[oid] = SPACE_EDEN
+                        eden_cursor += size
+                        in_eden.append(oid)
                 self._run_phase(bag, "major-precompact", workers=workers)
             phases["precompact"] = self.clock.now - t0
 
@@ -446,13 +527,10 @@ class ParallelScavenge(Collector):
                 adjust = bag.batcher(
                     "major-adjust", "scan", self.batch.scan_batch_objects
                 )
-                for obj in live:
-                    adjust.add(
-                        cost.gc_visit_cost
-                        + cost.gc_ref_cost * len(obj.refs)
-                    )
+                for oid in live:
+                    adjust.add(visit_cost + ref_cost * len(refs_arr[oid]))
                 adjust.flush()
-                stayer_ids = {o.oid for o in stayers}
+                stayer_ids = set(stayers)
                 # Backward-reference maintenance first: it reclassifies the
                 # cards scanned at marking time, and the mover adjustments
                 # that follow may dirty those same cards with *new*
@@ -469,52 +547,69 @@ class ParallelScavenge(Collector):
                 compact = bag.batcher(
                     "major-compact", "compact", self.batch.copy_batch_objects
                 )
-                for obj in in_old:
-                    moved = obj.address != obj.forward_address
-                    obj.address = obj.forward_address
-                    obj.space = SpaceId.OLD
-                    obj.forward_address = -1
-                    obj.forward_space = None
+                move_hook = (
+                    None
+                    if type(self).on_compact_move
+                    is ParallelScavenge.on_compact_move
+                    else self.on_compact_move
+                )
+                copy_bw = cost.gc_copy_bw
+                for oid in in_old:
+                    fwd = fwd_addr_arr[oid]
+                    moved = addr_arr[oid] != fwd
+                    addr_arr[oid] = fwd
+                    space_arr[oid] = SPACE_OLD
+                    fwd_addr_arr[oid] = -1
+                    fwd_space_arr[oid] = NO_SPACE
                     if moved:
-                        compact.add(obj.size / cost.gc_copy_bw)
-                        self.on_compact_move(obj)
-                for obj in in_eden:
-                    moved = obj.address != obj.forward_address
-                    obj.address = obj.forward_address
-                    obj.space = SpaceId.EDEN
-                    obj.forward_address = -1
-                    obj.forward_space = None
+                        compact.add(size_arr[oid] / copy_bw)
+                        if move_hook is not None:
+                            move_hook(handle(oid))
+                for oid in in_eden:
+                    fwd = fwd_addr_arr[oid]
+                    moved = addr_arr[oid] != fwd
+                    addr_arr[oid] = fwd
+                    space_arr[oid] = SPACE_EDEN
+                    fwd_addr_arr[oid] = -1
+                    fwd_space_arr[oid] = NO_SPACE
                     if moved:
-                        compact.add(obj.size / cost.gc_copy_bw)
+                        compact.add(size_arr[oid] / copy_bw)
                 compact.flush()
                 self._run_phase(bag, "major-compact", workers=workers)
                 self.compact_movers(movers)
 
-                # Install post-compaction space contents.
-                for space in (heap.eden, heap.survivor_from, heap.survivor_to):
-                    for obj in space.objects:
-                        if obj.mark_epoch < epoch:
-                            obj.space = SpaceId.FREED
-                dead_old = [
-                    o for o in heap.old.objects if o.mark_epoch < epoch
-                ]
-                for obj in dead_old:
-                    obj.space = SpaceId.FREED
+                # Install post-compaction space contents.  Dead sweeps are
+                # vectorized: order does not matter for bulk space flips.
+                for space in (
+                    heap.eden,
+                    heap.survivor_from,
+                    heap.survivor_to,
+                    heap.old,
+                ):
+                    oids = space.oid_array()
+                    dead = oids[~st.live_mask(oids, epoch)]
+                    st.set_space_batch(dead, SPACE_FREED)
                 heap.eden.reset()
                 heap.survivor_from.reset()
                 heap.survivor_to.reset()
-                heap.old.rebuild_after_compaction(in_old)
-                heap.eden.objects = in_eden
+                heap.old.rebuild_after_compaction(
+                    [handle(oid) for oid in in_old]
+                )
+                heap.eden.objects = [handle(oid) for oid in in_eden]
                 heap.eden.top = (
-                    in_eden[-1].end_address() if in_eden else heap.eden.base
+                    addr_arr[in_eden[-1]] + size_arr[in_eden[-1]]
+                    if in_eden
+                    else heap.eden.base
                 )
                 # Card table: after a full GC only old objects referencing
                 # (overflowed) eden objects need dirty cards.
                 heap.card_table.clear_all()
                 if in_eden:
-                    for obj in in_old:
-                        if any(r.in_young for r in obj.refs):
-                            heap.card_table.mark(obj.address)
+                    for oid in in_old:
+                        if any(
+                            space_arr[t] <= SPACE_TO for t in refs_arr[oid]
+                        ):
+                            heap.card_table.mark(addr_arr[oid])
             phases["compact"] = self.clock.now - t0
 
             self.on_major_complete(epoch)
@@ -524,7 +619,7 @@ class ParallelScavenge(Collector):
                 kind="major",
                 start_time=start,
                 duration=duration,
-                live_bytes=sum(o.size for o in live),
+                live_bytes=live_bytes,
                 moved_to_h2_bytes=moved_bytes,
                 old_occupancy_after=heap.old.occupancy,
                 phases=phases,

@@ -26,10 +26,13 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from ..errors import InvariantViolation
 from .heap import ManagedHeap
-from .object_model import SpaceId
+from .object_model import SPACE_CODES, SpaceId
 from .spaces import Space
+from .store import SPACE_FREED, SPACE_H2, SPACE_TO
 
 
 class AuditLevel(enum.Enum):
@@ -116,7 +119,40 @@ class HeapAuditor:
     # ------------------------------------------------------------------
     # Cheap checks: accounting and address-map bijectivity
     # ------------------------------------------------------------------
+    @staticmethod
+    def _extent_clean(
+        store, oids: np.ndarray, code: int, base: int, top: int, used: int
+    ) -> bool:
+        """Vectorized membership/bounds/overlap/accounting sweep.
+
+        One gather per column over the store's flat arrays replaces the
+        per-object loop; a False return routes to the loop so violation
+        reports stay byte-for-byte what they always were.
+        """
+        if not oids.size:
+            return used == 0
+        addr = store.address_view()[oids]
+        sizes = store.size_view()[oids]
+        ends = addr + sizes
+        if not (store.space_view()[oids] == code).all():
+            return False
+        if int(addr.min()) < base or int(ends.max()) > top:
+            return False
+        if oids.size > 1 and bool((addr[1:] < ends[:-1]).any()):
+            return False
+        return int(sizes.sum()) == used
+
     def _check_space(self, space: Space, out: List[Violation]) -> None:
+        objs = space.objects
+        if objs and self._extent_clean(
+            objs[0]._store,
+            space.oid_array(),
+            SPACE_CODES[space.space_id],
+            space.base,
+            space.top,
+            space.used,
+        ):
+            return
         prev_end = space.base
         prev_obj = None
         total = 0
@@ -162,6 +198,24 @@ class HeapAuditor:
                 )
             )
 
+    def _h2_region_clean(self, region) -> bool:
+        """Vectorized twin of the per-object H2 region loop."""
+        objs = region.objects
+        if not objs:
+            return region.used == 0
+        store = objs[0]._store
+        oids = region.oid_array()
+        if not self._extent_clean(
+            store, oids, SPACE_H2, region.start, region.top, region.used
+        ):
+            return False
+        if not (store.region_view()[oids] == region.index).all():
+            return False
+        # region_at() is pure arithmetic over the address, so in-bounds
+        # objects resolve to this region iff the registry entry at this
+        # index is the region itself.
+        return self.h2.regions.get(region.index) is region
+
     def _check_h2_regions(self, out: List[Violation]) -> None:
         for index, reason in getattr(self.h2, "quarantined", {}).items():
             region = self.h2.regions.get(index)
@@ -176,6 +230,8 @@ class HeapAuditor:
                     )
                 )
         for region in self.h2.regions.values():
+            if self._h2_region_clean(region):
+                continue
             prev_end = region.start
             prev_obj = None
             total = 0
@@ -257,22 +313,39 @@ class HeapAuditor:
         an old-to-young root and free a live object.
         """
         table = self.heap.card_table
-        for obj in self.heap.old.objects:
-            if not any(ref.in_young for ref in obj.refs):
-                continue
-            first = table.card_index(obj.address)
-            last = table.card_index(obj.end_address() - 1)
-            if not any(table.is_dirty(i) for i in range(first, last + 1)):
-                young = [r.oid for r in obj.refs if r.in_young]
-                out.append(
-                    Violation(
-                        "card-coverage",
-                        f"old object #{obj.oid} references young "
-                        f"object(s) {young}",
-                        f"a dirty card in cards [{first}, {last}]",
-                        "all covering cards clean",
-                    )
+        old = self.heap.old
+        if not old.objects:
+            return
+        store = old.objects[0]._store
+        oids = old.oid_array()
+        flat, owner = store.gather_targets(oids)
+        if not flat.size:
+            return
+        young_edges = store.space_view()[flat] <= SPACE_TO
+        has_young = (
+            np.bincount(owner[young_edges], minlength=oids.size) > 0
+        )
+        if not has_young.any():
+            return
+        flagged = oids[has_young]
+        addr = store.address_view()[flagged]
+        ends = addr + store.size_view()[flagged]
+        first = (addr - table.base) // table.card_size
+        last = (ends - 1 - table.base) // table.card_size
+        covered = table.covered_mask(first, last)
+        for i in np.nonzero(~covered)[0]:
+            obj = store.handle(int(flagged[i]))
+            young = [r.oid for r in obj.refs if r.in_young]
+            out.append(
+                Violation(
+                    "card-coverage",
+                    f"old object #{obj.oid} references young "
+                    f"object(s) {young}",
+                    f"a dirty card in cards [{int(first[i])}, "
+                    f"{int(last[i])}]",
+                    "all covering cards clean",
                 )
+            )
 
     def _check_h2_references(self, out: List[Violation]) -> None:
         """H2 references neither dangle nor escape the dependency lists.
@@ -284,6 +357,8 @@ class HeapAuditor:
         h2 = self.h2
         groups = h2.region_groups
         for region in h2.regions.values():
+            if self._h2_refs_clean(region):
+                continue
             for obj in region.objects:
                 for ref in obj.refs:
                     if ref.space is SpaceId.FREED:
@@ -319,6 +394,31 @@ class HeapAuditor:
                                     "no recorded edge",
                                 )
                             )
+
+    def _h2_refs_clean(self, region) -> bool:
+        """Vectorized no-dangling / dependency-closure sweep of a region."""
+        objs = region.objects
+        if not objs:
+            return True
+        store = objs[0]._store
+        flat, _ = store.gather_targets(region.oid_array())
+        if not flat.size:
+            return True
+        codes = store.space_view()[flat]
+        if bool((codes == SPACE_FREED).any()):
+            return False
+        h2_edges = codes == SPACE_H2
+        if not h2_edges.any():
+            return True
+        target_regions = store.region_view()[flat[h2_edges]]
+        cross = np.unique(target_regions[target_regions != region.index])
+        if not cross.size:
+            return True
+        groups = self.h2.region_groups
+        if groups is not None:
+            mine = groups.find(region.index)
+            return all(groups.find(int(r)) == mine for r in cross)
+        return all(int(r) in region.deps for r in cross)
 
     def _check_live_bits(self, out: List[Violation], epoch: int) -> None:
         """After a major GC only live regions may hold objects.

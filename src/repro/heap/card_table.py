@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Set, Tuple
 
+import numpy as np
+
 
 class CardTable:
     """Card table over a contiguous address range.
@@ -74,3 +76,26 @@ class CardTable:
     def retain(self, indices: Iterable[int]) -> None:
         """Keep only the given cards dirty (post-scan precise cleaning)."""
         self._dirty = set(indices) & set(range(self.num_cards))
+
+    # ------------------------------------------------------------------
+    def dirty_index_array(self) -> np.ndarray:
+        """Dirty card indices as a sorted array (batch coverage checks)."""
+        return np.fromiter(
+            sorted(self._dirty), dtype=np.int64, count=len(self._dirty)
+        )
+
+    def covered_mask(self, first: np.ndarray, last: np.ndarray) -> np.ndarray:
+        """For card ranges [first[i], last[i]] return whether any card in
+        each range is dirty — the vectorized form of the audit's
+        old-to-young coverage probe.  Ranges are typically one card wide
+        (object < card size), so the wide-range tail loops."""
+        dirty = self.dirty_index_array()
+        out = np.zeros(len(first), dtype=bool)
+        if not dirty.size or not len(first):
+            return out
+        single = first == last
+        out[single] = np.isin(first[single], dirty)
+        for i in np.nonzero(~single)[0]:
+            lo = np.searchsorted(dirty, first[i], side="left")
+            out[i] = lo < dirty.size and dirty[lo] <= last[i]
+        return out

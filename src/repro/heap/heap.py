@@ -7,7 +7,8 @@ from typing import List, Optional
 from ..config import VMConfig
 from ..errors import ConfigError
 from .card_table import CardTable
-from .object_model import HeapObject, SpaceId
+from .object_model import SPACE_CODES, HeapObject, SpaceId
+from .store import SPACE_TO
 from .spaces import OldGeneration, Space
 
 #: base virtual address of H1 (H2 lives in a disjoint higher range)
@@ -89,7 +90,10 @@ class ManagedHeap:
         if target.allocate(obj):
             self.allocated_objects += 1
             self.allocated_bytes += obj.size
-            if target is self.old and any(r.in_young for r in obj.refs):
+            store = obj._store
+            if target is self.old and any(
+                store.space[t] <= SPACE_TO for t in store.refs[obj.oid]
+            ):
                 # Initializing stores of a pretenured object run the
                 # write barrier too: without this mark the next scavenge
                 # would miss the old-to-young root.
@@ -105,8 +109,11 @@ class ManagedHeap:
         )
         self.survivor_from.space_id = SpaceId.FROM
         self.survivor_to.space_id = SpaceId.TO
-        for obj in self.survivor_from.objects:
-            obj.space = SpaceId.FROM
+        survivors = self.survivor_from.objects
+        if survivors:
+            survivors[0]._store.set_space_batch(
+                self.survivor_from.oid_array(), SPACE_CODES[SpaceId.FROM]
+            )
 
     def all_objects(self) -> List[HeapObject]:
         result: List[HeapObject] = []

@@ -76,6 +76,10 @@ class RootSet:
     def as_list(self) -> List[HeapObject]:
         return list(self)
 
+    def oids(self) -> List[int]:
+        """Root oids in iteration order — the seed of the trace kernels."""
+        return [obj.oid for obj in self]
+
     def clear(self) -> None:
         self._roots.clear()
         self._frames.clear()

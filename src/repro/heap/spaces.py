@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
 from typing import List, Optional
+
+import numpy as np
 
 from ..errors import ConfigError
 from .object_model import HeapObject, SpaceId
@@ -15,7 +16,9 @@ class Space:
     Objects are placed with a bump pointer, so ``objects`` stays sorted by
     address, which lets card scans locate the objects overlapping a card
     segment with binary search — the same trick real card-table scanning
-    relies on (objects-per-card lookup via block-offset tables).
+    relies on (objects-per-card lookup via block-offset tables).  The
+    address index is kept as a numpy array so overlap queries and audit
+    sweeps run as vector ops over the store's columns.
     """
 
     def __init__(self, space_id: SpaceId, base: int, capacity: int, name: str = ""):
@@ -27,7 +30,8 @@ class Space:
         self.top = base
         self.objects: List[HeapObject] = []
         self.name = name or space_id.value
-        self._addr_cache: Optional[List[int]] = None
+        self._addr_cache: Optional[np.ndarray] = None
+        self._oid_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -62,6 +66,7 @@ class Space:
         self.top += obj.size
         self.objects.append(obj)
         self._addr_cache = None
+        self._oid_cache = None
         return True
 
     def reset(self) -> None:
@@ -69,22 +74,46 @@ class Space:
         self.top = self.base
         self.objects.clear()
         self._addr_cache = None
+        self._oid_cache = None
 
     def live_bytes(self) -> int:
-        return sum(o.size for o in self.objects)
+        if not self.objects:
+            return 0
+        store = self.objects[0]._store
+        return store.sum_sizes(self.oid_array())
 
     # ------------------------------------------------------------------
+    def _index(self) -> np.ndarray:
+        if self._addr_cache is None:
+            self._addr_cache = np.fromiter(
+                (o.address for o in self.objects),
+                dtype=np.int64,
+                count=len(self.objects),
+            )
+        return self._addr_cache
+
+    def oid_array(self) -> np.ndarray:
+        """The space's oids in address order (batch-kernel input)."""
+        if self._oid_cache is None:
+            self._oid_cache = np.fromiter(
+                (o.oid for o in self.objects),
+                dtype=np.int64,
+                count=len(self.objects),
+            )
+        return self._oid_cache
+
     def objects_overlapping(self, lo: int, hi: int) -> List[HeapObject]:
         """Objects whose extent intersects the address range [lo, hi)."""
-        if self._addr_cache is None:
-            self._addr_cache = [o.address for o in self.objects]
-        addrs = self._addr_cache
+        if not self.objects:
+            return []
+        addrs = self._index()
         # First object that could overlap: the one starting at or before lo.
-        start = bisect_right(addrs, lo) - 1
+        start = int(np.searchsorted(addrs, lo, side="right")) - 1
         if start < 0:
             start = 0
+        stop = int(np.searchsorted(addrs, hi, side="left")) + 1
         result = []
-        for obj in self.objects[start : bisect_left(addrs, hi) + 1]:
+        for obj in self.objects[start:stop]:
             if obj.address < hi and obj.end_address() > lo:
                 result.append(obj)
         return result
@@ -101,3 +130,4 @@ class OldGeneration(Space):
         self.objects = survivors
         self.top = survivors[-1].end_address() if survivors else self.base
         self._addr_cache = None
+        self._oid_cache = None

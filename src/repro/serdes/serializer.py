@@ -18,6 +18,7 @@ from ..clock import Bucket, Clock
 from ..config import CostModel
 from ..errors import SerializationError
 from ..heap.object_model import HeapObject
+from ..heap.store import FLAG_METADATA, FLAG_SERIALIZABLE
 
 
 @dataclass
@@ -58,21 +59,26 @@ class Serializer:
     # ------------------------------------------------------------------
     def closure(self, root: HeapObject) -> List[HeapObject]:
         """The transitive closure the serializer must walk."""
+        st = root._store
+        refs_arr = st.refs
+        flags_arr = st.flags
+        handle = st.handle
         seen: Set[int] = set()
-        stack = [root]
+        stack = [root.oid]
         out: List[HeapObject] = []
         while stack:
-            obj = stack.pop()
-            if obj.oid in seen:
+            oid = stack.pop()
+            if oid in seen:
                 continue
-            seen.add(obj.oid)
-            if not obj.serializable or obj.is_metadata:
+            seen.add(oid)
+            flags = flags_arr[oid]
+            if not flags & FLAG_SERIALIZABLE or flags & FLAG_METADATA:
                 raise SerializationError(
-                    f"object #{obj.oid} ({obj.name or 'unnamed'}) is not "
+                    f"object #{oid} ({st.name[oid] or 'unnamed'}) is not "
                     "serializable; off-heap groups must be self-contained"
                 )
-            out.append(obj)
-            stack.extend(obj.refs)
+            out.append(handle(oid))
+            stack.extend(refs_arr[oid])
         return out
 
     def charge_serialize(self, object_count: int, nbytes: int) -> None:

@@ -29,6 +29,16 @@ from ..gc.parallel_scavenge import ParallelScavenge
 from ..heap.heap import ManagedHeap
 from ..heap.object_model import HeapObject, SpaceId
 from ..heap.roots import RootSet
+from ..heap.store import (
+    FLAG_H2_CANDIDATE,
+    FLAG_METADATA,
+    FLAG_REFERENCE,
+    NO_SPACE,
+    SPACE_FREED,
+    SPACE_H2,
+    SPACE_OLD,
+    SPACE_TO,
+)
 from .h2_card_table import CardState
 from .h2_heap import H2Heap
 from .hints import HintInterface
@@ -75,8 +85,9 @@ class TeraHeapCollector(ParallelScavenge):
         self.h2_cards_scanned_minor = 0
         #: movers denied an H2 address (device full / degraded H2)
         self.h2_transfers_denied = 0
-        self._minor_scanned: List[Tuple[int, List[HeapObject]]] = []
-        self._major_scanned: List[Tuple[int, List[HeapObject]]] = []
+        #: scanned H2 cards as (card, resident oids) pairs
+        self._minor_scanned: List[Tuple[int, List[int]]] = []
+        self._major_scanned: List[Tuple[int, List[int]]] = []
         self._moved_labels: Set[str] = set()
         #: per-cycle placement outcome, reported to the governor at the
         #: end of every major GC
@@ -88,7 +99,7 @@ class TeraHeapCollector(ParallelScavenge):
     # ==================================================================
     def _scan_h2_cards(
         self, major: bool
-    ) -> Tuple[List[HeapObject], List[Tuple[int, List[HeapObject]]]]:
+    ) -> Tuple[List[int], List[Tuple[int, List[int]]]]:
         """Scan the H2 card table; return (H1 roots, scanned cards).
 
         Checking the conceptual table costs one check per card (the table
@@ -124,8 +135,14 @@ class TeraHeapCollector(ParallelScavenge):
                 if st is CardState.OLD_GEN
             ]
             cards = sorted(set(cards) | set(extra))
-        roots: List[HeapObject] = []
-        scanned: List[Tuple[int, List[HeapObject]]] = []
+        st = self.store
+        space_arr = st.space
+        refs_arr = st.refs
+        region_arr = st.region_id
+        visit_cost = cost.gc_visit_cost
+        ref_cost = cost.gc_ref_cost
+        roots: List[int] = []
+        scanned: List[Tuple[int, List[int]]] = []
         slice_work: Dict[int, float] = {}
         for card in cards:
             lo, hi = table.card_range(card)
@@ -133,27 +150,31 @@ class TeraHeapCollector(ParallelScavenge):
             if region is None or region.is_empty:
                 table.set_state(card, CardState.CLEAN)
                 continue
-            on_card = region.objects_overlapping(lo, hi)
+            on_card = [
+                o.oid for o in region.objects_overlapping(lo, hi)
+            ]
             # Reading device-resident objects to inspect their references.
             self.h2.scan_load(lo, hi - lo)
             card_work = 0.0
-            for obj in on_card:
-                card_work += cost.gc_visit_cost
-                for ref in obj.refs:
-                    card_work += cost.gc_ref_cost
-                    if ref.in_h1:
-                        if major or ref.in_young:
-                            roots.append(ref)
+            for oid in on_card:
+                targets = refs_arr[oid]
+                card_work += visit_cost + ref_cost * len(targets)
+                own_region = region_arr[oid]
+                for t in targets:
+                    code = space_arr[t]
+                    if code <= SPACE_OLD:
+                        if major or code <= SPACE_TO:
+                            roots.append(t)
                     elif (
-                        ref.space is SpaceId.H2
-                        and ref.region_id != obj.region_id
+                        code == SPACE_H2
+                        and region_arr[t] != own_region
                     ):
                         # A mutator created this cross-region reference
                         # after the move; install the dependency edge
                         # before the card can be cleaned, so region
                         # liveness propagates correctly.
                         self.h2.record_cross_region_ref(
-                            obj.region_id, ref.region_id
+                            own_region, region_arr[t]
                         )
             # Scanned cards become stripe-owned slice tasks: a slice
             # starts on its owning worker's deque and only migrates to
@@ -172,15 +193,18 @@ class TeraHeapCollector(ParallelScavenge):
         self._run_phase(bag, phase, workers=parallelism)
         return roots, scanned
 
-    def _classify_card(self, objects: List[HeapObject]) -> CardState:
+    def _classify_card(self, oids: List[int]) -> CardState:
         """Post-scan card state from the segment's backward references."""
+        space_arr = self.store.space
+        refs_arr = self.store.refs
         has_young = False
         has_old = False
-        for obj in objects:
-            for ref in obj.refs:
-                if ref.in_young:
+        for oid in oids:
+            for t in refs_arr[oid]:
+                code = space_arr[t]
+                if code <= SPACE_TO:
                     has_young = True
-                elif ref.space is SpaceId.OLD:
+                elif code == SPACE_OLD:
                     has_old = True
         if has_young:
             return CardState.YOUNG_GEN
@@ -193,28 +217,30 @@ class TeraHeapCollector(ParallelScavenge):
     # ==================================================================
     # Minor GC hooks
     # ==================================================================
-    def minor_h2_roots(self) -> List[HeapObject]:
+    def minor_h2_roots(self) -> List[int]:
         with self.clock.sub_context("h2_minor_scan"):
             roots, self._minor_scanned = self._scan_h2_cards(major=False)
         self.h2_cards_scanned_minor += len(self._minor_scanned)
-        return [r for r in roots if r.in_young]
+        space_arr = self.store.space
+        return [r for r in roots if space_arr[r] <= SPACE_TO]
 
     def minor_h2_post_copy(self, relocated: Set[int]) -> None:
         """Adjust backward references to relocated survivors and install
         the new card states."""
         table = self.h2.card_table
+        refs_arr = self.store.refs
         with self.clock.sub_context("h2_minor_scan"):
-            for card, objects in self._minor_scanned:
+            for card, oids in self._minor_scanned:
                 lo, hi = table.card_range(card)
                 needs_adjust = any(
-                    ref.oid in relocated
-                    for obj in objects
-                    for ref in obj.refs
+                    t in relocated
+                    for oid in oids
+                    for t in refs_arr[oid]
                 )
                 if needs_adjust:
                     # Rewriting pointers inside device-resident objects.
                     self.h2.scan_store(lo, hi - lo)
-                table.set_state(card, self._classify_card(objects))
+                table.set_state(card, self._classify_card(oids))
         self._minor_scanned = []
         if self.config.teraheap.writeback_policy == "flush":
             # Eager durability: mutator stores to H2 become durable at
@@ -228,7 +254,7 @@ class TeraHeapCollector(ParallelScavenge):
     def pre_major_mark(self) -> None:
         self.h2.reset_live_bits()
 
-    def major_h2_roots(self) -> List[HeapObject]:
+    def major_h2_roots(self) -> List[int]:
         roots, self._major_scanned = self._scan_h2_cards(major=True)
         return roots
 
@@ -242,7 +268,7 @@ class TeraHeapCollector(ParallelScavenge):
             self.h2.mark_region_live(target.region_id)
 
     def select_h2_movers(
-        self, live: List[HeapObject], live_bytes: int, epoch: int
+        self, live_oids: List[int], live_bytes: int, epoch: int
     ) -> List[Tuple[HeapObject, str]]:
         if (
             self.h2.resilience is not None
@@ -254,41 +280,59 @@ class TeraHeapCollector(ParallelScavenge):
             # future configuration.
             return []
         cost = self.cost
+        st = self.store
+        space_arr = st.space
+        epoch_arr = st.mark_epoch
+        refs_arr = st.refs
+        flags_arr = st.flags
+        label_list = st.label
+        handle = st.handle
+        visit_cost = cost.gc_visit_cost
+        ref_cost = cost.gc_ref_cost
         # --- transitive closure of tagged root key-objects --------------
+        # Order-preserving DFS over the store columns: same stack-pop
+        # order (and batch boundaries) as the old per-handle traversal.
         groups: Dict[str, List[HeapObject]] = {}
         bag = TaskBag()
         closure = bag.batcher(
             "h2-closure", "scan", self.batch.scan_batch_objects
         )
         for root in self.hints.tagged_roots():
-            if root.mark_epoch < epoch or not root.in_h1:
+            root_oid = root.oid
+            if epoch_arr[root_oid] < epoch or space_arr[root_oid] > SPACE_OLD:
                 continue  # dead or already-moved roots do not transfer
-            label = root.label
+            label = label_list[root_oid]
             members = groups.setdefault(label, [])
-            stack = [root]
+            stack = [root_oid]
             while stack:
-                obj = stack.pop()
-                if not obj.in_h1:
+                oid = stack.pop()
+                if space_arr[oid] > SPACE_OLD:
                     continue
-                if obj.label == label and obj is not root and obj.h2_candidate:
+                flags = flags_arr[oid]
+                if (
+                    label_list[oid] == label
+                    and oid != root_oid
+                    and flags & FLAG_H2_CANDIDATE
+                ):
                     continue
-                if obj.is_metadata or obj.is_reference:
+                if flags & (FLAG_METADATA | FLAG_REFERENCE):
                     # JVM metadata and java.lang.ref.Reference objects are
                     # excluded from the closure (Section 3.2).
                     continue
-                if obj.label is not None and obj.label != label:
+                if label_list[oid] is not None and label_list[oid] != label:
                     continue  # claimed by another group first
-                if obj.h2_candidate:
+                if flags & FLAG_H2_CANDIDATE:
                     continue
-                obj.label = label
-                obj.h2_candidate = True
-                members.append(obj)
-                closure.add(
-                    cost.gc_visit_cost + cost.gc_ref_cost * len(obj.refs)
-                )
-                for ref in obj.refs:
-                    if ref.in_h1 and not ref.h2_candidate:
-                        stack.append(ref)
+                label_list[oid] = label
+                flags_arr[oid] = flags | FLAG_H2_CANDIDATE
+                members.append(handle(oid))
+                targets = refs_arr[oid]
+                closure.add(visit_cost + ref_cost * len(targets))
+                for t in targets:
+                    if space_arr[t] <= SPACE_OLD and not (
+                        flags_arr[t] & FLAG_H2_CANDIDATE
+                    ):
+                        stack.append(t)
         closure.flush()
         self._run_phase(bag, "h2-closure", workers=self.major_workers())
 
@@ -296,14 +340,14 @@ class TeraHeapCollector(ParallelScavenge):
         grouped_oids = {
             o.oid for members in groups.values() for o in members
         }
-        for obj in live:
+        for oid in live_oids:
             if (
-                obj.h2_candidate
-                and obj.label is not None
-                and obj.oid not in grouped_oids
+                flags_arr[oid] & FLAG_H2_CANDIDATE
+                and label_list[oid] is not None
+                and oid not in grouped_oids
             ):
-                groups.setdefault(obj.label, []).append(obj)
-                grouped_oids.add(obj.oid)
+                groups.setdefault(label_list[oid], []).append(handle(oid))
+                grouped_oids.add(oid)
 
         # --- transfer decision ------------------------------------------
         decision = self.policy.decide(live_bytes)
@@ -410,20 +454,32 @@ class TeraHeapCollector(ParallelScavenge):
         self, movers: List[Tuple[HeapObject, str]], stayers: Set[int]
     ) -> None:
         table = self.h2.card_table
+        st = self.store
+        space_arr = st.space
+        refs_arr = st.refs
+        region_arr = st.region_id
+        addr_arr = st.address
         for obj, _ in movers:
-            for ref in obj.refs:
-                if ref.space is SpaceId.H2 and ref.region_id != obj.region_id:
+            oid = obj.oid
+            own_region = region_arr[oid]
+            for t in refs_arr[oid]:
+                if space_arr[t] == SPACE_H2 and region_arr[t] != own_region:
                     self.h2.record_cross_region_ref(
-                        obj.region_id, ref.region_id
+                        own_region, region_arr[t]
                     )
-                elif ref.oid in stayers:
+                elif t in stayers:
                     # New backward (H2 -> H1) reference.
-                    table.mark_dirty(obj.address)
+                    table.mark_dirty(addr_arr[oid])
 
     def adjust_h2_backward_refs(self) -> None:
         """Rewrite backward references to compacted H1 locations and
         reclassify the scanned cards."""
         table = self.h2.card_table
+        st = self.store
+        space_arr = st.space
+        refs_arr = st.refs
+        region_arr = st.region_id
+        fwd_space_arr = st.forward_space
         for card, _ in self._major_scanned:
             lo, hi = table.card_range(card)
             region = self.h2.region_at(lo)
@@ -433,43 +489,52 @@ class TeraHeapCollector(ParallelScavenge):
                 continue
             # Recompute the segment's contents: pre-compaction may have
             # placed fresh movers into this card since the marking scan.
-            objects = region.objects_overlapping(lo, hi)
+            oids = [o.oid for o in region.objects_overlapping(lo, hi)]
             has_backward = any(
-                ref.in_h1 or ref.forward_space is not None
-                for obj in objects
-                for ref in obj.refs
+                space_arr[t] <= SPACE_OLD or fwd_space_arr[t] != NO_SPACE
+                for oid in oids
+                for t in refs_arr[oid]
             )
             if has_backward:
                 self.h2.scan_store(lo, hi - lo)
             # A backward-referenced H1 object may itself have moved to H2
             # this cycle: the reference is now cross-region and must enter
             # the dependency lists before its tracking card goes clean.
-            for obj in objects:
-                if obj.space is not SpaceId.H2:
+            for oid in oids:
+                if space_arr[oid] != SPACE_H2:
                     continue
-                for ref in obj.refs:
+                own_region = region_arr[oid]
+                for t in refs_arr[oid]:
                     if (
-                        ref.space is SpaceId.H2
-                        and ref.region_id != obj.region_id
+                        space_arr[t] == SPACE_H2
+                        and region_arr[t] != own_region
                     ):
                         self.h2.record_cross_region_ref(
-                            obj.region_id, ref.region_id
+                            own_region, region_arr[t]
                         )
-            state = self._classify_after_major(objects)
+            state = self._classify_after_major(oids)
             table.set_state(card, state)
         self._major_scanned = []
 
-    def _classify_after_major(self, objects: List[HeapObject]) -> CardState:
+    def _classify_after_major(self, oids: List[int]) -> CardState:
+        st = self.store
+        space_arr = st.space
+        refs_arr = st.refs
+        fwd_space_arr = st.forward_space
         has_young = False
         has_old = False
-        for obj in objects:
-            if obj.space is SpaceId.FREED:
+        for oid in oids:
+            if space_arr[oid] == SPACE_FREED:
                 continue
-            for ref in obj.refs:
-                space = ref.forward_space or ref.space
-                if space in (SpaceId.EDEN, SpaceId.FROM, SpaceId.TO):
+            for t in refs_arr[oid]:
+                # The post-compaction space: forwarded targets classify
+                # by destination.
+                code = fwd_space_arr[t]
+                if code == NO_SPACE:
+                    code = space_arr[t]
+                if code <= SPACE_TO:
                     has_young = True
-                elif space is SpaceId.OLD:
+                elif code == SPACE_OLD:
                     has_old = True
         if has_young:
             return CardState.YOUNG_GEN

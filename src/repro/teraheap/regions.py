@@ -12,8 +12,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
+import numpy as np
+
 from ..errors import ConfigError
 from ..heap.object_model import HeapObject, SpaceId
+from ..heap.store import SPACE_FREED
 from ..units import TiB
 
 # Figure 2 metadata, sized per region (measured on the authors' struct
@@ -51,6 +54,7 @@ class Region:
         "objects",
         "allocated_epoch",
         "_addr_cache",
+        "_oid_cache",
     )
 
     def __init__(self, index: int, start: int, capacity: int):
@@ -71,6 +75,7 @@ class Region:
         self.objects: List[HeapObject] = []
         self.allocated_epoch = 0
         self._addr_cache: Optional[List[int]] = None
+        self._oid_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @property
@@ -106,7 +111,18 @@ class Region:
         self.top += obj.size
         self.objects.append(obj)
         self._addr_cache = None
+        self._oid_cache = None
         return True
+
+    def oid_array(self) -> np.ndarray:
+        """The region's oids in allocation (= address) order."""
+        if self._oid_cache is None:
+            self._oid_cache = np.fromiter(
+                (o.oid for o in self.objects),
+                dtype=np.int64,
+                count=len(self.objects),
+            )
+        return self._oid_cache
 
     def live_object_stats(self, mark_epoch: int) -> "RegionLiveness":
         """Live-object and live-space fractions (Figure 10 inputs).
@@ -117,10 +133,15 @@ class Region:
         way the paper's Figure 10 does.
         """
         total = len(self.objects)
-        live = sum(1 for o in self.objects if o.mark_epoch >= mark_epoch)
-        live_bytes = sum(
-            o.size for o in self.objects if o.mark_epoch >= mark_epoch
-        )
+        if total:
+            store = self.objects[0]._store
+            oids = self.oid_array()
+            mask = store.epoch_view()[oids] >= mark_epoch
+            live = int(mask.sum())
+            live_bytes = int(store.size_view()[oids][mask].sum())
+        else:
+            live = 0
+            live_bytes = 0
         return RegionLiveness(
             total_objects=total,
             live_objects=live,
@@ -133,15 +154,18 @@ class Region:
         """Free the region in bulk: zero the allocation pointer, delete the
         dependency list (Section 3.3).  Returns the dropped objects."""
         dropped = self.objects
-        for obj in dropped:
-            obj.space = SpaceId.FREED
-            obj.region_id = -1
+        if dropped:
+            store = dropped[0]._store
+            oids = self.oid_array()
+            store.set_space_batch(oids, SPACE_FREED)
+            store.region_view()[oids] = -1
         self.objects = []
         self.top = self.start
         self.live = False
         self.label = None
         self.deps = set()
         self._addr_cache = None
+        self._oid_cache = None
         return dropped
 
     # ------------------------------------------------------------------
