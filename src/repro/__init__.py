@@ -38,6 +38,7 @@ from .errors import (
     InvariantViolation,
     OutOfMemoryError,
     ReproError,
+    RetryExhausted,
     SegmentationFault,
     SerializationError,
     SimulatedCrash,
@@ -77,6 +78,7 @@ __all__ = [
     "PantheraConfig",
     "ReproError",
     "ResiliencePolicy",
+    "RetryExhausted",
     "RetryPolicy",
     "SegmentationFault",
     "SerializationError",

@@ -17,6 +17,7 @@ Usage::
     python -m repro fig13a
     python -m repro gcscale --scale 0.4
     python -m repro chaoskill --scale 0.5
+    python -m repro phoenix --scale 0.5
 """
 
 from __future__ import annotations
@@ -40,6 +41,7 @@ from .experiments import (
     fig12,
     fig13,
     gc_scaling,
+    phoenix,
     table5,
 )
 
@@ -60,6 +62,7 @@ EXPERIMENTS = [
     "gcscale",
     "chaoskill",
     "brownout",
+    "phoenix",
     "bench",
 ]
 
@@ -201,6 +204,13 @@ def main(argv=None) -> int:
         if args.scale < 1.0:
             brownout_args.append("--smoke")
         status = brownout.main(brownout_args)
+    elif args.experiment == "phoenix":
+        phoenix_args = ["--check", "--check-determinism"]
+        if args.scale < 1.0:
+            phoenix_args.append("--smoke")
+        if args.fault_seed is not None:
+            phoenix_args.extend(["--fault-seed", str(args.fault_seed)])
+        status = phoenix.main(phoenix_args)
     elif args.experiment == "bench":
         # The pinned perf-trajectory matrix; writes BENCH_0007.json.
         status = bench.main([])

@@ -125,6 +125,10 @@ class DeviceHealthMonitor:
         """Call ``fn`` on every state transition (e.g. the H2 governor)."""
         self._listeners.append(fn)
 
+    def detach_listeners(self) -> None:
+        """Drop every listener (a retired VM must stop driving anything)."""
+        self._listeners.clear()
+
     def _entry(self, device: str) -> _DeviceHealth:
         health = self._devices.get(device)
         if health is None:

@@ -115,6 +115,22 @@ class UnrecoverableCrash(ReproError):
         self.problems = list(problems)
 
 
+class RetryExhausted(ReproError):
+    """A job's bounded crash-restart budget ran out.
+
+    Raised by the task-level retry driver when either the per-job restart
+    budget is spent or one partition's recompute-attempt budget is — the
+    latter marks the partition *poisoned* (``task`` names it) so a
+    deterministic crasher fails fast instead of burning every restart on
+    the same task.
+    """
+
+    def __init__(self, message: str, restarts: int = 0, task=None):
+        super().__init__(message)
+        self.restarts = restarts
+        self.task = task
+
+
 class InvariantViolation(ReproError):
     """A post-GC heap audit found inconsistent runtime state.
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from .events import (
+    AdoptionEvent,
     CircuitEvent,
     CrashEvent,
     DegradationEvent,
@@ -30,6 +31,7 @@ from .events import (
     HealthEvent,
     RecoveryEvent,
     ResilienceLog,
+    RestartEvent,
     RetryEvent,
     StallEvent,
 )
@@ -52,6 +54,8 @@ __all__ = [
     "DegradationEvent",
     "CrashEvent",
     "RecoveryEvent",
+    "RestartEvent",
+    "AdoptionEvent",
     "ResilienceLog",
     "RetryPolicy",
     "ResiliencePolicy",
@@ -182,6 +186,13 @@ def _empty_totals() -> Dict[str, float]:
         "circuit_transitions": 0.0,
         "crashes": 0.0,
         "recoveries": 0.0,
+        "restarts": 0.0,
+        "regions_recovered": 0.0,
+        "regions_quarantined": 0.0,
+        "blocks_adopted": 0.0,
+        "blocks_quarantined": 0.0,
+        "blocks_lost": 0.0,
+        "blocks_recomputed": 0.0,
         "audits_run": 0.0,
         "invariant_violations": 0.0,
     }

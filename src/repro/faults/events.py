@@ -99,6 +99,32 @@ class RecoveryEvent:
     detail: str = ""
 
 
+@dataclass
+class RestartEvent:
+    """A successor VM took over a crashed executor's durable image."""
+
+    time: float
+    incarnation: int
+    detail: str = ""
+
+
+@dataclass
+class AdoptionEvent:
+    """One cached block's fate across a crash-restart boundary.
+
+    ``outcome`` is ``"adopted"`` (the block's H2 label survived recovery
+    and the rebuilt block manager re-linked it), ``"quarantined"`` (a
+    region under its label was quarantined — the block is lost),
+    ``"lost"`` (no recovered regions carried its label at all), or
+    ``"recomputed"`` (a lost/dropped block was rebuilt from lineage).
+    """
+
+    time: float
+    label: str
+    outcome: str
+    detail: str = ""
+
+
 class ResilienceLog:
     """Accumulates fault/retry/degradation events for one VM."""
 
@@ -108,6 +134,8 @@ class ResilienceLog:
         self.degradations: List[DegradationEvent] = []
         self.crashes: List[CrashEvent] = []
         self.recoveries: List[RecoveryEvent] = []
+        self.restarts: List[RestartEvent] = []
+        self.adoptions: List[AdoptionEvent] = []
         self.stalls: List[StallEvent] = []
         self.health: List[HealthEvent] = []
         self.circuit: List[CircuitEvent] = []
@@ -163,6 +191,39 @@ class ResilienceLog:
             RecoveryEvent(time, recovered, quarantined, detail)
         )
 
+    def record_restart(
+        self, time: float, incarnation: int, detail: str = ""
+    ) -> None:
+        self.restarts.append(RestartEvent(time, incarnation, detail))
+
+    def record_adoption(
+        self, time: float, label: str, outcome: str, detail: str = ""
+    ) -> None:
+        self.adoptions.append(AdoptionEvent(time, label, outcome, detail))
+
+    def absorb(self, other: "ResilienceLog") -> None:
+        """Prepend a predecessor incarnation's history onto this log.
+
+        A successor VM starts with an empty log; absorbing the crashed
+        VM's log keeps the incident record (the crash event itself, any
+        faults and retries that led up to it) continuous across the
+        restart, so reports and traces tell the whole story.
+        """
+        for attr in (
+            "faults",
+            "retries",
+            "degradations",
+            "crashes",
+            "recoveries",
+            "restarts",
+            "adoptions",
+            "stalls",
+            "health",
+            "circuit",
+        ):
+            mine: List = getattr(self, attr)
+            mine[:0] = getattr(other, attr)
+
     # ------------------------------------------------------------------
     @property
     def faults_seen(self) -> int:
@@ -187,6 +248,21 @@ class ResilienceLog:
     @property
     def recovery_count(self) -> int:
         return len(self.recoveries)
+
+    @property
+    def restart_count(self) -> int:
+        return len(self.restarts)
+
+    def adoption_count(self, outcome: str) -> int:
+        return sum(1 for a in self.adoptions if a.outcome == outcome)
+
+    @property
+    def regions_recovered(self) -> int:
+        return sum(r.recovered for r in self.recoveries)
+
+    @property
+    def regions_quarantined(self) -> int:
+        return sum(r.quarantined for r in self.recoveries)
 
     @property
     def stall_seconds(self) -> float:
@@ -220,6 +296,13 @@ class ResilienceLog:
             "stall_seconds": self.stall_seconds,
             "crashes": float(self.crash_count),
             "recoveries": float(self.recovery_count),
+            "restarts": float(self.restart_count),
+            "regions_recovered": float(self.regions_recovered),
+            "regions_quarantined": float(self.regions_quarantined),
+            "blocks_adopted": float(self.adoption_count("adopted")),
+            "blocks_quarantined": float(self.adoption_count("quarantined")),
+            "blocks_lost": float(self.adoption_count("lost")),
+            "blocks_recomputed": float(self.adoption_count("recomputed")),
             "health_transitions": float(self.health_transitions),
             "circuit_transitions": float(self.circuit_transitions),
         }

@@ -120,6 +120,12 @@ class FaultConfig:
     #: pin the torn-write cut of a crashed batch (pages that land before
     #: the kill); ``None`` draws it from the crash RNG
     crash_cut: Optional[int] = None
+    #: task-boundary crash target: kill at the ``crash_task``-th task of
+    #: the named stage (the framework visits safepoint ``task:<stage>``
+    #: once per task it starts); ``None`` disables stage targeting
+    crash_stage: Optional[str] = None
+    #: which task visit of ``crash_stage`` fires the kill (1 = first)
+    crash_task: int = 1
 
 
 @dataclass
@@ -331,13 +337,22 @@ class FaultPlan:
         if self.suspended or self.crashed:
             return None
         cfg = self.config
-        if cfg.crash_point is None and cfg.crash_rate <= 0.0:
+        if (
+            cfg.crash_point is None
+            and cfg.crash_stage is None
+            and cfg.crash_rate <= 0.0
+        ):
             return None
         hits = self.safepoint_hits.get(safepoint, 0) + 1
         self.safepoint_hits[safepoint] = hits
         fire = (
             cfg.crash_point == safepoint and hits == cfg.crash_after
         )
+        if not fire and cfg.crash_stage is not None:
+            fire = (
+                safepoint == f"task:{cfg.crash_stage}"
+                and hits == cfg.crash_task
+            )
         if not fire and cfg.crash_rate > 0.0:
             fire = self._crash_rng.random() < cfg.crash_rate
         if not fire:

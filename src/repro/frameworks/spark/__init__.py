@@ -15,15 +15,21 @@ Models the Spark behaviours the paper depends on (Section 5, Figure 4):
 from .block_manager import BlockManager, CacheEntry
 from .conf import CachePolicy, SparkConf
 from .context import SparkContext
-from .rdd import RDD, MaterializedPartition, PartitionSpec
+from .rdd import RDD, Lineage, MaterializedPartition, PartitionSpec
+from .recovery import JobResult, JobRetryPolicy, RestartReport, run_job
 
 __all__ = [
     "BlockManager",
     "CacheEntry",
     "CachePolicy",
+    "JobResult",
+    "JobRetryPolicy",
+    "Lineage",
     "MaterializedPartition",
     "PartitionSpec",
     "RDD",
+    "RestartReport",
     "SparkConf",
     "SparkContext",
+    "run_job",
 ]

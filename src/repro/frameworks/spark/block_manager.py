@@ -36,7 +36,13 @@ from ...heap.object_model import HeapObject
 from ...runtime import JavaVM
 from ...serdes.serializer import SerializedBlob
 from .conf import CachePolicy, SparkConf
-from .rdd import RDD, MaterializedPartition
+from .rdd import (
+    RDD,
+    MaterializedPartition,
+    PartitionSpec,
+    block_label,
+    root_size_for,
+)
 
 
 @dataclass
@@ -56,6 +62,9 @@ class CacheEntry:
     charged: str = "h1"
     #: monotone access stamp for LRU shedding
     last_access: int = 0
+    #: the per-partition H2 label this entry was tagged (or adopted)
+    #: under; empty for non-TERAHEAP entries
+    label: str = ""
 
     def charged_bytes(self) -> int:
         if self.kind == "heap" and self.partition is not None:
@@ -92,10 +101,22 @@ class BlockManager:
         self.recomputes = 0
         #: stores re-routed away from H2 by an open governor circuit
         self.governor_fallbacks = 0
+        #: blocks re-adopted from a recovered H2 image after a restart
+        self.adoptions = 0
+        self.adopted_bytes = 0
+        #: blocks lost to quarantined regions across a crash
+        self.quarantined_blocks = 0
+        #: blocks whose label left no recovered regions at all (never
+        #: committed, or shape-mismatched against the partition spec)
+        self.lost_blocks = 0
         self._dropped_keys: Set[Tuple[int, int]] = set()
         self._access_seq = 0
         if getattr(vm, "governor", None) is not None:
             vm.register_pressure_handler(self.shed_blocks)
+
+    def _log(self):
+        resilience = getattr(self.vm, "resilience", None)
+        return resilience.log if resilience is not None else None
 
     def _stamp(self, entry: CacheEntry) -> None:
         self._access_seq += 1
@@ -112,10 +133,18 @@ class BlockManager:
         entry = self.entries.get(key)
         if entry is None:
             if key in self._dropped_keys:
-                # The cached copy was dropped (overflow) or shed
-                # (backpressure): this compute is the recompute penalty.
+                # The cached copy was dropped (overflow), shed
+                # (backpressure) or lost across a crash: this compute is
+                # the lineage-recompute penalty.
                 self._dropped_keys.discard(key)
                 self.recomputes += 1
+                log = self._log()
+                if log is not None:
+                    log.record_adoption(
+                        self.vm.clock.now,
+                        block_label(rdd.cache_label, index),
+                        "recomputed",
+                    )
             part = compute(index)
             with self.vm.roots.frame() as frame:
                 # Pin the fresh partition while the store path may allocate
@@ -146,11 +175,14 @@ class BlockManager:
                 return
             vm.write_ref(self.cache_root, part.root)
             # Mark the partition descriptor as a root key-object with the
-            # RDD id as its label and advise the move right away — cached
+            # per-block label and advise the move right away — cached
             # partitions are immutable at allocation time (Section 5).
-            vm.h2_tag_root(part.root, rdd.cache_label)
-            vm.h2_move(rdd.cache_label)
-            entry = CacheEntry(kind="heap", partition=part)
+            # Labels are per partition (not per RDD) so crash recovery
+            # can validate and re-adopt each block independently.
+            label = block_label(rdd.cache_label, index)
+            vm.h2_tag_root(part.root, label)
+            vm.h2_move(label)
+            entry = CacheEntry(kind="heap", partition=part, label=label)
             self._stamp(entry)
             self.entries[key] = entry
             self.onheap_used += size
@@ -257,6 +289,14 @@ class BlockManager:
             )
         elif entry.heap_blob is not None:
             self.vm.write_ref(self.cache_root, None, remove=entry.heap_blob)
+        if entry.label:
+            # An adopted block also holds a recovery anchor rooting its
+            # label's rehydrated objects; drop it with the entry so
+            # unpersist/shed actually lets the next major GC reclaim the
+            # regions.
+            anchor = self.vm.h2_recovery_anchors.pop(entry.label, None)
+            if anchor is not None:
+                self.vm.roots.remove(anchor)
         if entry.charged == "h1":
             self.onheap_used -= size
             return size
@@ -332,6 +372,91 @@ class BlockManager:
                 name=f"{rdd.name}-p{index}-deser",
             )
         return MaterializedPartition(root=root, chunks=chunks)
+
+    # ------------------------------------------------------------------
+    # Crash-restart block adoption
+    # ------------------------------------------------------------------
+    def adopt_recovered(
+        self,
+        rdd: RDD,
+        spec: PartitionSpec,
+        quarantined_labels: Dict[str, str],
+    ) -> str:
+        """Re-adopt one persisted block from a recovered H2 image.
+
+        Called by :meth:`SparkContext.restart` on the *successor* VM's
+        freshly built block manager, once per partition of each persisted
+        RDD.  The block's fate:
+
+        - ``"adopted"`` — its label survived recovery intact and the
+          rehydrated objects match the partition spec exactly (one root
+          of the descriptor size + ``num_chunks`` chunks); the entry is
+          re-linked into the cache map, charged to ``h2_bytes``.
+        - ``"quarantined"`` — recovery quarantined a region under the
+          label (stale epoch, torn data): the block is lost; any partial
+          anchor is dropped so the surviving fragment gets reclaimed.
+        - ``"lost"`` — no recovered regions carried the label (the block
+          never committed before the crash), or the recovered object
+          multiset does not match the spec; lineage recompute owns it.
+
+        Lost/quarantined keys are marked dropped, so their next access
+        counts (and logs) the lineage-recompute penalty.
+        """
+        vm = self.vm
+        key = (rdd.rdd_id, spec.index)
+        label = block_label(rdd.cache_label, spec.index)
+        log = self._log()
+        anchor = vm.h2_recovery_anchors.get(label)
+
+        def lose(outcome: str, detail: str) -> str:
+            if anchor is not None:
+                vm.roots.remove(anchor)
+                vm.h2_recovery_anchors.pop(label, None)
+            if outcome == "quarantined":
+                self.quarantined_blocks += 1
+            else:
+                self.lost_blocks += 1
+            self._dropped_keys.add(key)
+            if log is not None:
+                log.record_adoption(vm.clock.now, label, outcome, detail)
+            return outcome
+
+        if label in quarantined_labels:
+            return lose("quarantined", quarantined_labels[label])
+        if anchor is None:
+            return lose("lost", "no recovered regions under label")
+        members = sorted(anchor.refs, key=lambda o: o.address)
+        root_size = root_size_for(spec)
+        expected = sorted([root_size] + [spec.chunk_size] * spec.num_chunks)
+        if sorted(o.size for o in members) != expected:
+            return lose(
+                "lost",
+                f"shape mismatch: {len(members)} objects vs spec "
+                f"{spec.num_chunks}+1",
+            )
+        root = next(o for o in members if o.size == root_size)
+        chunks = [o for o in members if o is not root]
+        # Re-discover the intra-block structure: the root's outgoing refs
+        # are re-installed directly (like the recovery anchors — this is
+        # metadata rehydration, not a mutator store).
+        root.refs = list(chunks)
+        for chunk in chunks:
+            chunk.scan_factor = spec.scan_factor
+        part = MaterializedPartition(root=root, chunks=chunks)
+        vm.write_ref(self.cache_root, root)
+        entry = CacheEntry(
+            kind="heap", partition=part, charged="h2", label=label
+        )
+        self._stamp(entry)
+        self.entries[key] = entry
+        self.h2_bytes += part.size_bytes
+        self.adoptions += 1
+        self.adopted_bytes += part.size_bytes
+        if log is not None:
+            log.record_adoption(
+                vm.clock.now, label, "adopted", f"{part.size_bytes}B"
+            )
+        return "adopted"
 
     # ------------------------------------------------------------------
     def evict_rdd(self, rdd: RDD) -> None:

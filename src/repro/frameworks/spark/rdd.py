@@ -41,6 +41,50 @@ class MaterializedPartition:
         return self.root.size + sum(c.size for c in self.chunks)
 
 
+@dataclass(frozen=True)
+class Lineage:
+    """An RDD's durable recipe: how to rebuild any partition after loss.
+
+    Driver-side metadata (it survives an executor crash), enough to
+    recompute a partition without the materialized objects: the parent
+    RDD (by id, resolved through the context's registry so the record
+    stays valid across VM incarnations), the transform that produced
+    this RDD, and the per-chunk compute cost.  The partition *shape*
+    lives in the RDD's :class:`PartitionSpec` list, which the block
+    manager also uses to validate recovered H2 objects against the
+    partition they claim to be.
+    """
+
+    op: str  # "source" | "map"
+    parent_id: Optional[int]
+    compute_ops_per_chunk: int
+    size_factor: float = 1.0
+
+    def describe(self) -> str:
+        if self.parent_id is None:
+            return f"{self.op}(ops={self.compute_ops_per_chunk})"
+        return (
+            f"{self.op}(parent=rdd-{self.parent_id}, "
+            f"ops={self.compute_ops_per_chunk}, x{self.size_factor:g})"
+        )
+
+
+def block_label(cache_label: str, index: int) -> str:
+    """The H2 label of one cached partition (``<rdd-label>.p<index>``).
+
+    Labels are per *block* — the unit the block manager caches, evicts
+    and (after a crash) re-adopts — so recovery can validate and adopt
+    each partition independently: one quarantined region loses one
+    block, not the whole RDD.
+    """
+    return f"{cache_label}.p{index}"
+
+
+def root_size_for(spec: PartitionSpec) -> int:
+    """The descriptor-root allocation size for a partition spec."""
+    return max(64, 8 * spec.num_chunks)
+
+
 class RDD:
     """A resilient distributed dataset.
 
@@ -57,6 +101,7 @@ class RDD:
         parent: Optional["RDD"] = None,
         compute_ops_per_chunk: int = 64,
         name: str = "",
+        lineage: Optional[Lineage] = None,
     ):
         self.ctx = ctx
         self.rdd_id = ctx.next_rdd_id()
@@ -65,6 +110,12 @@ class RDD:
         self.compute_ops_per_chunk = compute_ops_per_chunk
         self.name = name or f"rdd-{self.rdd_id}"
         self.persisted = False
+        self.lineage = lineage or Lineage(
+            op="map" if parent is not None else "source",
+            parent_id=parent.rdd_id if parent is not None else None,
+            compute_ops_per_chunk=compute_ops_per_chunk,
+        )
+        ctx.register_rdd(self)
 
     # ------------------------------------------------------------------
     @property
@@ -79,6 +130,22 @@ class RDD:
     def cache_label(self) -> str:
         """TeraHeap label: the RDD id (Section 5, Figure 4)."""
         return f"rdd-{self.rdd_id}"
+
+    def block_label(self, index: int) -> str:
+        """Per-partition H2 label used by the block manager."""
+        return block_label(self.cache_label, index)
+
+    def lineage_chain(self) -> List[str]:
+        """The lineage from this RDD back to its source, for diagnostics."""
+        chain: List[str] = []
+        rdd: Optional[RDD] = self
+        while rdd is not None:
+            chain.append(f"{rdd.name}={rdd.lineage.describe()}")
+            parent_id = rdd.lineage.parent_id
+            rdd = (
+                self.ctx.rdd(parent_id) if parent_id is not None else None
+            )
+        return chain
 
     # ------------------------------------------------------------------
     # Transformations (lazy)
@@ -108,6 +175,12 @@ class RDD:
             parent=self,
             compute_ops_per_chunk=ops_per_chunk,
             name=name,
+            lineage=Lineage(
+                op="map",
+                parent_id=self.rdd_id,
+                compute_ops_per_chunk=ops_per_chunk,
+                size_factor=size_factor,
+            ),
         )
 
     def persist(self) -> "RDD":
@@ -134,9 +207,17 @@ class RDD:
     def _compute(self, index: int) -> MaterializedPartition:
         vm = self.ctx.vm
         spec = self.partitions[index]
+        # Resolve the parent through the lineage record, not the object
+        # reference: the record is the durable recipe a restarted driver
+        # recomputes from (self.parent is kept as a convenience alias).
+        parent = (
+            self.ctx.rdd(self.lineage.parent_id)
+            if self.lineage.parent_id is not None
+            else None
+        )
         with vm.roots.frame() as frame:
-            if self.parent is not None:
-                parent_part = self.parent.compute_partition(index)
+            if parent is not None:
+                parent_part = parent.compute_partition(index)
                 # The task holds its input partition on the stack while
                 # producing this one; with a batch frame active, all
                 # concurrent tasks' inputs stay pinned together.
@@ -158,7 +239,7 @@ class RDD:
                 chunk.scan_factor = spec.scan_factor
                 chunks.append(frame.push(chunk))
             root = vm.allocate(
-                max(64, 8 * spec.num_chunks),
+                root_size_for(spec),
                 refs=chunks,
                 name=f"{self.name}-p{index}",
             )
@@ -191,12 +272,14 @@ class RDD:
                 self.ctx.batch_frame = frame
                 try:
                     for index in batch:
+                        self.ctx.task_start(self, index)
                         part = self.compute_partition(index)
                         frame.push(part.root)
                         frame.push_all(part.chunks)
                         total += part.size_bytes
                 finally:
                     self.ctx.batch_frame = None
+        self.ctx.task_end()
         return total
 
     #: temporary bytes allocated per cached byte processed in an epoch
@@ -212,6 +295,7 @@ class RDD:
         for batch in self._task_batches():
             with vm.roots.frame() as frame:
                 for index in batch:
+                    self.ctx.task_start(self, index)
                     part = self.compute_partition(index)
                     frame.push(part.root)
                     frame.push_all(part.chunks)
@@ -225,6 +309,7 @@ class RDD:
                     vm.allocate_temp(
                         int(part.size_bytes * self.EPOCH_TEMP_RATIO)
                     )
+        self.ctx.task_end()
 
 
 def make_partitions(

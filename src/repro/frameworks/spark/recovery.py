@@ -1,0 +1,166 @@
+"""Executor crash-restart: bounded retries over lineage recompute.
+
+The crash machinery below :class:`~repro.runtime.JavaVM` kills the
+executor at a safepoint (:class:`~repro.errors.SimulatedCrash`); the
+driver-side loop here is what turns that into a *completed job*:
+restart the executor over its durable H2 image
+(:meth:`SparkContext.restart`), let the rebuilt block manager re-adopt
+every persisted block that survived recovery, and re-run the action —
+lineage recomputes exactly the partitions that were lost.
+
+Retries are bounded twice over:
+
+- ``max_restarts`` caps executor restarts per job.  A schedule that
+  crashes the replacement VM too (``crash_rate`` sweeps, or a crash
+  that fires *during* recovery) eventually exhausts the budget and
+  raises :class:`~repro.errors.RetryExhausted` — a diagnosed failure,
+  never a hang.
+- ``max_partition_attempts`` caps how often the *same* task may be the
+  one in flight when the executor dies.  A partition whose recompute
+  deterministically kills the VM ("poisoned") fails fast with the
+  task named in the error, instead of burning the whole restart budget
+  discovering it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ...errors import RetryExhausted, SimulatedCrash
+from ...teraheap.recovery import RecoveryReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import SparkContext
+
+
+@dataclass
+class RestartReport:
+    """What one :meth:`SparkContext.restart` recovered and re-adopted."""
+
+    incarnation: int
+    recovery: RecoveryReport
+    #: per-block adoption outcome: label -> adopted|quarantined|lost
+    blocks: Dict[str, str] = field(default_factory=dict)
+
+    def note(self, label: str, outcome: str) -> None:
+        self.blocks[label] = outcome
+
+    def count(self, outcome: str) -> int:
+        return sum(1 for o in self.blocks.values() if o == outcome)
+
+    @property
+    def adopted(self) -> int:
+        return self.count("adopted")
+
+    @property
+    def quarantined(self) -> int:
+        return self.count("quarantined")
+
+    @property
+    def lost(self) -> int:
+        return self.count("lost")
+
+    def digest(self) -> str:
+        """Canonical per-block outcomes, for determinism checks."""
+        lines = [f"incarnation={self.incarnation}"]
+        lines.extend(
+            f"{label}\t{outcome}"
+            for label, outcome in sorted(self.blocks.items())
+        )
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return (
+            f"incarnation {self.incarnation}: "
+            f"{self.adopted} adopted, {self.quarantined} quarantined, "
+            f"{self.lost} lost"
+        )
+
+
+@dataclass
+class JobRetryPolicy:
+    """Bounds on the crash-restart loop."""
+
+    #: executor restarts allowed per job before giving up
+    max_restarts: int = 3
+    #: times the same (stage, partition) may be in flight at a crash
+    #: before it is declared poisoned and the job fails fast
+    max_partition_attempts: int = 3
+
+
+@dataclass
+class JobResult:
+    """A completed action plus the recovery work it took."""
+
+    value: int
+    restarts: int
+    reports: List[RestartReport] = field(default_factory=list)
+
+    @property
+    def blocks_adopted(self) -> int:
+        return sum(r.adopted for r in self.reports)
+
+    @property
+    def blocks_quarantined(self) -> int:
+        return sum(r.quarantined for r in self.reports)
+
+    @property
+    def blocks_lost(self) -> int:
+        return sum(r.lost for r in self.reports)
+
+
+def run_job(
+    ctx: "SparkContext",
+    action: Callable[[], int],
+    policy: Optional[JobRetryPolicy] = None,
+) -> JobResult:
+    """Drive ``action`` to completion across executor crashes.
+
+    ``action`` is re-run from the top after every restart — the cheap
+    half of each pass hits re-adopted H2 blocks, the lost partitions
+    recompute from lineage.  Crashes raised *during* restart (a
+    ``crash_rate`` schedule can kill the successor while it recovers or
+    adopts) count against the same restart budget.
+    """
+    policy = policy or JobRetryPolicy()
+    restarts = 0
+    reports: List[RestartReport] = []
+    attempts: Dict[Tuple[str, int], int] = {}
+
+    def charge(task: Optional[Tuple[str, int]]) -> None:
+        if task is None:
+            return
+        attempts[task] = attempts.get(task, 0) + 1
+        if attempts[task] >= policy.max_partition_attempts:
+            stage, index = task
+            raise RetryExhausted(
+                f"partition {index} of stage {stage!r} poisoned: executor "
+                f"died {attempts[task]} times with it in flight "
+                f"(max_partition_attempts={policy.max_partition_attempts})",
+                restarts=restarts,
+                task=task,
+            )
+
+    while True:
+        try:
+            value = action()
+            return JobResult(value=value, restarts=restarts, reports=reports)
+        except SimulatedCrash:
+            charge(ctx.current_task)
+        # Restart may itself crash (crash_rate fires during recovery or
+        # adoption I/O); each attempt burns one unit of the same budget.
+        while True:
+            restarts += 1
+            if restarts > policy.max_restarts:
+                raise RetryExhausted(
+                    f"job gave up after {restarts - 1} executor restarts "
+                    f"(max_restarts={policy.max_restarts})",
+                    restarts=restarts - 1,
+                    task=ctx.current_task,
+                )
+            try:
+                reports.append(ctx.restart())
+                break
+            except SimulatedCrash:
+                continue

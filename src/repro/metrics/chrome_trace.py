@@ -71,7 +71,8 @@ def resilience_trace_events(log: Any) -> List[Dict[str, Any]]:
     """A :class:`~repro.faults.events.ResilienceLog` as instant events.
 
     Faults, retries, stalls, health/circuit transitions, degradations,
-    crashes and recoveries render as global instant markers ("ph": "i",
+    crashes, recoveries, executor restarts and block adoptions render
+    as global instant markers ("ph": "i",
     scope "g"), so fault activity lines up against the GC task lanes on
     the same timeline.
     """
@@ -145,6 +146,22 @@ def resilience_trace_events(log: Any) -> List[Dict[str, Any]]:
                     "quarantined": ev.quarantined,
                     "detail": ev.detail,
                 },
+            )
+        )
+    for ev in log.restarts:
+        events.append(
+            _instant(
+                ev.time,
+                "restart",
+                {"incarnation": ev.incarnation, "detail": ev.detail},
+            )
+        )
+    for ev in log.adoptions:
+        events.append(
+            _instant(
+                ev.time,
+                f"adoption:{ev.outcome}",
+                {"label": ev.label, "detail": ev.detail},
             )
         )
     events.sort(key=lambda e: e["ts"])

@@ -221,6 +221,46 @@ def resilience_events_csv(log) -> str:
                 event.reason,
             ]
         )
+    for event in log.crashes:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "crash",
+                "process",
+                event.safepoint,
+                event.detail,
+            ]
+        )
+    for event in log.recoveries:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "recovery",
+                "h2",
+                f"recovered={event.recovered} quarantined={event.quarantined}",
+                event.detail,
+            ]
+        )
+    for event in log.restarts:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "restart",
+                "executor",
+                f"incarnation={event.incarnation}",
+                event.detail,
+            ]
+        )
+    for event in log.adoptions:
+        writer.writerow(
+            [
+                f"{event.time:.6f}",
+                "adoption",
+                event.label,
+                event.outcome,
+                event.detail,
+            ]
+        )
     return out.getvalue()
 
 

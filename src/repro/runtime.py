@@ -74,6 +74,8 @@ class JavaVM:
         self.alloc_stalls = 0
         #: emergency full GCs run by the backpressure path
         self.emergency_gcs = 0
+        #: set by :meth:`retire` once a successor VM replaced this one
+        self.retired = False
 
         if config.collector == "g1":
             from .gc.g1 import G1Collector, G1Heap, G1WriteBarrier
@@ -274,7 +276,12 @@ class JavaVM:
     # ==================================================================
     def register_pressure_handler(self, fn) -> None:
         """Register ``fn(target_bytes) -> freed_bytes``, called when the
-        VM applies emergency backpressure instead of raising OOM."""
+        VM applies emergency backpressure instead of raising OOM.
+
+        Retired VMs refuse registrations: a handler rooted in a dead
+        incarnation must never fire again."""
+        if self.retired:
+            return
         self.pressure_handlers.append(fn)
 
     def _emergency_backpressure(self, obj: HeapObject) -> bool:
@@ -490,6 +497,23 @@ class JavaVM:
     # ==================================================================
     # Crash recovery
     # ==================================================================
+    def retire(self) -> None:
+        """Tear down a dead VM so nothing of it leaks into a successor.
+
+        A crashed executor's volatile state must not poison the restarted
+        incarnation: registered pressure handlers (which close over the
+        dead block manager), device-health listeners (which would keep
+        feeding the dead governor), and the governor's own circuit state
+        all die here.  The successor VM builds every one of these fresh —
+        zero health observations, a CLOSED circuit, zero alloc-stall
+        counters — which :meth:`~repro.frameworks.spark.context.SparkContext.restart`
+        relies on.  Idempotent.
+        """
+        self.retired = True
+        self.pressure_handlers.clear()
+        if self.health is not None:
+            self.health.detach_listeners()
+
     def recover_h2(self, image):
         """Recover a crashed process's durable H2 image into this VM.
 

@@ -141,7 +141,9 @@ class TestBlockManagerTeraHeap:
         vm.major_gc()
         entry = ctx.block_manager.entries[(rdd.rdd_id, 0)]
         assert entry.partition.root.space is SpaceId.H2
-        assert entry.partition.root.label == rdd.cache_label
+        # Labels are per block (partition), so crash recovery can adopt
+        # or quarantine each cached partition independently.
+        assert entry.partition.root.label == rdd.block_label(0)
 
     def test_no_deserialization_under_teraheap(self):
         ctx = make_ctx(policy=CachePolicy.TERAHEAP, th=True)
