@@ -42,6 +42,7 @@ from .experiments import (
     fig13,
     gc_scaling,
     phoenix,
+    streamscale,
     table5,
 )
 
@@ -63,6 +64,7 @@ EXPERIMENTS = [
     "chaoskill",
     "brownout",
     "phoenix",
+    "streamscale",
     "bench",
 ]
 
@@ -211,6 +213,11 @@ def main(argv=None) -> int:
         if args.fault_seed is not None:
             phoenix_args.extend(["--fault-seed", str(args.fault_seed)])
         status = phoenix.main(phoenix_args)
+    elif args.experiment == "streamscale":
+        stream_args = ["--check", "--check-determinism"]
+        if args.scale < 1.0:
+            stream_args.append("--smoke")
+        status = streamscale.main(stream_args)
     elif args.experiment == "bench":
         # The pinned perf-trajectory matrix; writes BENCH_0007.json.
         status = bench.main([])

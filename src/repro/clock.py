@@ -206,6 +206,24 @@ class Clock:
         lane_set.hidden = min(critical, budget)
         self.charge(critical - lane_set.hidden)
 
+    def overlap(self, seconds: float, budget: float) -> float:
+        """Charge ``seconds`` of work racing already-elapsed mutator time.
+
+        The scalar sibling of :meth:`concurrent`, for single-lane
+        overlapped work (a streaming pipeline stage running in its own
+        execution slot, an asynchronous spill): up to ``budget`` seconds
+        of the work hide behind mutator progress that already elapsed,
+        and only the overrun is charged to the current bucket/sub-bucket
+        context.  Returns the hidden share so callers can report it.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot overlap negative time: {seconds}")
+        if budget < 0:
+            raise ValueError(f"overlap budget must be >= 0, got {budget}")
+        hidden = min(seconds, budget)
+        self.charge(seconds - hidden)
+        return hidden
+
     # ------------------------------------------------------------------
     # Charging
     # ------------------------------------------------------------------

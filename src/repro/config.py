@@ -96,6 +96,13 @@ class CostModel:
     #: queued writes durable (drive cache flush), charged per commit epoch
     fsync_cost: float = 0.5e-3
 
+    # --- Streaming execution --------------------------------------------
+    #: dispatching one block through the streaming operator pipeline:
+    #: block metadata, slot bookkeeping, operator hand-off.  This is the
+    #: fixed per-block tax that makes streaming lose on small inputs
+    #: (blocks never amortise it) and win at scale (they do)
+    stream_block_dispatch_cost: float = 2e-3
+
 
 @dataclass
 class TeraHeapConfig:

@@ -15,11 +15,13 @@ Models the Spark behaviours the paper depends on (Section 5, Figure 4):
 from .block_manager import BlockManager, CacheEntry
 from .conf import CachePolicy, SparkConf
 from .context import SparkContext
-from .rdd import RDD, Lineage, MaterializedPartition, PartitionSpec
+from .rdd import RDD, BlockSpec, Lineage, MaterializedPartition, PartitionSpec
 from .recovery import JobResult, JobRetryPolicy, RestartReport, run_job
+from .streaming import StreamingExecutor, StreamResult
 
 __all__ = [
     "BlockManager",
+    "BlockSpec",
     "CacheEntry",
     "CachePolicy",
     "JobResult",
@@ -31,5 +33,7 @@ __all__ = [
     "RestartReport",
     "SparkConf",
     "SparkContext",
+    "StreamResult",
+    "StreamingExecutor",
     "run_job",
 ]

@@ -97,6 +97,11 @@ class BlockManager:
         #: entries shed by emergency backpressure
         self.sheds = 0
         self.shed_bytes = 0
+        #: heap entries spilled to a serialized blob instead of dropped
+        self.spilled_blocks = 0
+        self.spilled_bytes = 0
+        #: spilled entries read back (deserialized) on a later access
+        self.unspills = 0
         #: computes of partitions that *were* cached but got dropped/shed
         self.recomputes = 0
         #: stores re-routed away from H2 by an open governor circuit
@@ -110,6 +115,7 @@ class BlockManager:
         #: committed, or shape-mismatched against the partition spec)
         self.lost_blocks = 0
         self._dropped_keys: Set[Tuple[int, int]] = set()
+        self._spilled_keys: Set[Tuple[int, int]] = set()
         self._access_seq = 0
         if getattr(vm, "governor", None) is not None:
             vm.register_pressure_handler(self.shed_blocks)
@@ -192,8 +198,8 @@ class BlockManager:
             # partitions when the memory store overflows; dropped
             # partitions are recomputed on their next access.
             budget = int(self.vm.config.heap_size * 0.6)
-            while self.onheap_used + size > budget and self.entries:
-                self._drop_oldest()
+            while self.onheap_used + size > budget and self._drop_oldest():
+                pass
             if self.onheap_used + size > budget:
                 return  # cannot cache at all; always recompute
             vm.write_ref(self.cache_root, part.root)
@@ -282,6 +288,7 @@ class BlockManager:
     def _remove_entry(self, key: Tuple[int, int]) -> int:
         """Unroot and uncharge one entry; returns the H1 bytes it freed."""
         entry = self.entries.pop(key)
+        self._spilled_keys.discard(key)
         size = entry.charged_bytes()
         if entry.kind == "heap" and entry.partition is not None:
             self.vm.write_ref(
@@ -306,12 +313,35 @@ class BlockManager:
             self.offheap_bytes -= size
         return 0
 
-    def _drop_oldest(self) -> None:
-        """Evict the oldest cached partition (drop, no spill)."""
-        key = next(iter(self.entries))
-        self._remove_entry(key)
-        self._dropped_keys.add(key)
-        self.drops += 1
+    def _pinned(self, entry: CacheEntry) -> bool:
+        """Is this entry's partition held by an executing task's stack?
+
+        A frame-pinned partition is the input (or output) of a compute
+        that is still running: its objects survive any collection, so
+        evicting the entry frees no memory — it only corrupts the
+        ``onheap_used`` accounting and buys a guaranteed recompute of a
+        block that is literally in use.  Every eviction path must skip
+        such entries.
+        """
+        if entry.kind != "heap" or entry.partition is None:
+            return False
+        return self.vm.roots.frame_pinned(entry.partition.root)
+
+    def _drop_oldest(self) -> bool:
+        """Evict the oldest unpinned cached partition (drop, no spill).
+
+        Returns ``False`` when every remaining entry is pinned by an
+        in-flight task — the caller must stop evicting and fall through
+        to the don't-cache path rather than loop forever.
+        """
+        for key, entry in self.entries.items():
+            if self._pinned(entry):
+                continue
+            self._remove_entry(key)
+            self._dropped_keys.add(key)
+            self.drops += 1
+            return True
+        return False
 
     def shed_blocks(self, nbytes: int) -> int:
         """Emergency backpressure: shed H1-charged entries, LRU first.
@@ -332,10 +362,94 @@ class BlockManager:
                 break
             if entry.charged != "h1":
                 continue
+            if self._pinned(entry):
+                continue
             freed += self._remove_entry(key)
             self._dropped_keys.add(key)
             self.sheds += 1
         self.shed_bytes += freed
+        return freed
+
+    def store_partition(
+        self, rdd: RDD, index: int, part: MaterializedPartition
+    ) -> None:
+        """Cache a partition materialized outside :meth:`get_or_compute`.
+
+        The streaming executor assembles persisted partitions itself
+        (block by block) and hands them over here; the store runs under
+        the same pinning frame the compute path uses, so serialization
+        temporaries cannot collect the partition mid-store.
+        """
+        with self.vm.roots.frame() as frame:
+            frame.push(part.root)
+            frame.push_all(part.chunks)
+            self._store(rdd, index, part)
+
+    # ------------------------------------------------------------------
+    # Spill / unspill (streaming backpressure)
+    # ------------------------------------------------------------------
+    def spill_entry(self, key: Tuple[int, int]) -> int:
+        """Spill one H1-charged heap entry to a serialized blob.
+
+        The streaming executor's answer to pressure: instead of dropping
+        a block and paying lineage recompute later, serialize it and
+        re-insert the blob — to the off-heap device normally, or as a
+        serialized-on-heap holder when the governor circuit is OPEN (the
+        device is exactly what must not absorb new bytes then).  The
+        entry leaves and re-enters through the normal paths
+        (:meth:`_remove_entry` / a fresh :class:`CacheEntry`), so the
+        residency counters keep their single-exit invariant.
+
+        Returns the H1 bytes freed; 0 if the entry is absent, already a
+        blob, pinned by an executing task, or no longer H1-resident.
+        """
+        entry = self.entries.get(key)
+        if (
+            entry is None
+            or entry.kind != "heap"
+            or entry.charged != "h1"
+            or entry.partition is None
+            or self._pinned(entry)
+        ):
+            return 0
+        vm = self.vm
+        part = entry.partition
+        blob = vm.serializer.serialize(part.root)
+        freed = self._remove_entry(key)
+        governor = getattr(vm, "governor", None)
+        circuit_open = governor is not None and governor.blocks_h2_caching()
+        device = self.conf.offheap_device
+        if device is None and vm.h2 is not None:
+            device = vm.h2.device
+        if device is not None and not circuit_open:
+            with vm.clock.context(Bucket.SD_IO):
+                device.write(blob.size_bytes)
+            new = CacheEntry(
+                kind="blob",
+                blob=blob,
+                num_chunks=len(part.chunks),
+                chunk_size=part.chunks[0].size if part.chunks else 0,
+                charged="offheap",
+            )
+            self.offheap_bytes += blob.size_bytes
+        else:
+            holder = vm.allocate(blob.size_bytes, name=f"spill-{key}")
+            vm.write_ref(self.cache_root, holder)
+            new = CacheEntry(
+                kind="blob",
+                blob=blob,
+                num_chunks=len(part.chunks),
+                chunk_size=part.chunks[0].size if part.chunks else 0,
+                heap_blob=holder,
+                charged="h1",
+            )
+            self.onheap_used += blob.size_bytes
+            freed = max(0, freed - blob.size_bytes)
+        self._stamp(new)
+        self.entries[key] = new
+        self._spilled_keys.add(key)
+        self.spilled_blocks += 1
+        self.spilled_bytes += blob.size_bytes
         return freed
 
     def _read_offheap(
@@ -356,6 +470,10 @@ class BlockManager:
                 device.read(entry.blob.size_bytes)
         vm.serializer.deserialize_cost(entry.blob)
         self.deserializations += 1
+        if (rdd.rdd_id, index) in self._spilled_keys:
+            # First read-back of a spilled block: the unspill penalty.
+            self._spilled_keys.discard((rdd.rdd_id, index))
+            self.unspills += 1
         with vm.roots.frame() as frame:
             chunks = []
             for i in range(entry.num_chunks):

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...devices.base import Device
+from ...units import KiB
 
 
 class CachePolicy(enum.Enum):
@@ -33,3 +34,26 @@ class SparkConf:
     storage_fraction: float = 0.5
     #: average serialized record size, used to count shuffle records
     shuffle_record_bytes: int = 512
+
+    # --- Streaming execution (block-streaming executor) ----------------
+    #: execution slots of the streaming executor; the bounded in-flight
+    #: budget is ``max_inflight_blocks x target_block_bytes`` (Ray Data's
+    #: ``num_execution_slots x max_block_size`` formula)
+    max_inflight_blocks: int = 4
+    #: target size of one streamed block; partitions larger than this are
+    #: split into multiple blocks, smaller partitions stream as one
+    target_block_bytes: int = 256 * KiB
+    #: H1 occupancy at which the streaming executor applies operator
+    #: backpressure (spill-then-stall) even with a healthy device
+    stream_pressure_watermark: float = 0.85
+    #: simulated seconds one streaming backpressure stall parks the
+    #: operator pipeline before rechecking admission
+    stream_stall_wait: float = 1e-3
+    #: stall rounds per admission before the executor force-admits (the
+    #: block is coming either way; bounded stalling keeps progress)
+    stream_max_stall_rounds: int = 4
+
+    @property
+    def inflight_budget_bytes(self) -> int:
+        """The streaming executor's bounded in-flight byte budget."""
+        return self.max_inflight_blocks * self.target_block_bytes

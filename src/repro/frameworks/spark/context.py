@@ -44,6 +44,11 @@ class SparkContext:
         self.batch_frame = None
         #: executor incarnation (bumped by every successful restart)
         self.incarnation = 1
+        #: RDD-registry generation: bumped by every restart, stamped on
+        #: RDDs at registration and folded into their H2 block labels —
+        #: so an RDD graph rebuilt after a crash can never produce a
+        #: label that collides with a dead incarnation's stale blocks
+        self.registry_generation = 1
         #: the (stage, partition) of the task in flight, for the retry
         #: driver's poisoned-partition accounting
         self.current_task: Optional[Tuple[str, int]] = None
@@ -53,6 +58,7 @@ class SparkContext:
         return self._rdd_counter
 
     def register_rdd(self, rdd: RDD) -> None:
+        rdd.generation = self.registry_generation
         self._rdds[rdd.rdd_id] = rdd
 
     def rdd(self, rdd_id: int) -> RDD:
@@ -210,6 +216,10 @@ class SparkContext:
                         rdd, spec, quarantined_labels
                     )
                     restart_report.note(rdd.block_label(spec.index), outcome)
+        # Surviving RDDs adopted under their original labels above; any
+        # RDD registered from here on belongs to the new generation, so
+        # its labels cannot collide with stale blocks of the old one.
+        self.registry_generation = self.incarnation
         return restart_report
 
     # ------------------------------------------------------------------

@@ -28,6 +28,41 @@ class PartitionSpec:
     def size_bytes(self) -> int:
         return self.num_chunks * self.chunk_size
 
+    def block_specs(self, target_block_bytes: int) -> List["BlockSpec"]:
+        """Split this partition into streaming blocks of bounded size.
+
+        Blocks are chunk-aligned runs of at most ``target_block_bytes``
+        (but always at least one chunk); a partition smaller than the
+        target streams as a single block.  The split is the streaming
+        executor's unit of admission, spill and retirement.
+        """
+        per_block = max(1, target_block_bytes // max(self.chunk_size, 1))
+        return [
+            BlockSpec(
+                partition=self.index,
+                block=b,
+                num_chunks=min(per_block, self.num_chunks - b * per_block),
+                chunk_size=self.chunk_size,
+                scan_factor=self.scan_factor,
+            )
+            for b in range((self.num_chunks + per_block - 1) // per_block)
+        ]
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Static shape of one streamed block: a chunk run of a partition."""
+
+    partition: int
+    block: int
+    num_chunks: int
+    chunk_size: int
+    scan_factor: float = 1.0
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_chunks * self.chunk_size
+
 
 @dataclass
 class MaterializedPartition:
@@ -67,6 +102,23 @@ class Lineage:
             f"{self.op}(parent=rdd-{self.parent_id}, "
             f"ops={self.compute_ops_per_chunk}, x{self.size_factor:g})"
         )
+
+    # -- streaming-aware chunk specs -----------------------------------
+    def output_chunks(self, input_chunks: int) -> int:
+        """Chunks one stage emits for an ``input_chunks``-chunk block.
+
+        The streaming executor applies lineage at *block* granularity:
+        a map stage transforms each in-flight block independently, so
+        the per-partition ``size_factor`` applies per block (at least
+        one chunk — a block never vanishes).
+        """
+        if self.parent_id is None:
+            return input_chunks
+        return max(1, int(input_chunks * self.size_factor))
+
+    def ops_for_chunks(self, num_chunks: int) -> int:
+        """Compute operations to process a block of ``num_chunks``."""
+        return num_chunks * self.compute_ops_per_chunk
 
 
 def block_label(cache_label: str, index: int) -> str:
@@ -110,6 +162,8 @@ class RDD:
         self.compute_ops_per_chunk = compute_ops_per_chunk
         self.name = name or f"rdd-{self.rdd_id}"
         self.persisted = False
+        #: registry generation stamped by :meth:`SparkContext.register_rdd`
+        self.generation = 1
         self.lineage = lineage or Lineage(
             op="map" if parent is not None else "source",
             parent_id=parent.rdd_id if parent is not None else None,
@@ -128,8 +182,19 @@ class RDD:
 
     @property
     def cache_label(self) -> str:
-        """TeraHeap label: the RDD id (Section 5, Figure 4)."""
-        return f"rdd-{self.rdd_id}"
+        """TeraHeap label: the RDD id (Section 5, Figure 4).
+
+        Labels are namespaced by the registry generation the RDD was
+        registered under: generation 1 (no restart has rebuilt the
+        driver-side graph) keeps the paper's plain ``rdd-<id>`` form,
+        while RDDs registered after an executor restart embed the
+        generation — so a recomputed RDD whose registry happens to
+        reuse an earlier incarnation's numeric id can never match (and
+        adopt) that incarnation's stale H2 blocks.
+        """
+        if self.generation <= 1:
+            return f"rdd-{self.rdd_id}"
+        return f"rdd-{self.rdd_id}~g{self.generation}"
 
     def block_label(self, index: int) -> str:
         """Per-partition H2 label used by the block manager."""
@@ -146,6 +211,24 @@ class RDD:
                 self.ctx.rdd(parent_id) if parent_id is not None else None
             )
         return chain
+
+    def lineage_stages(self) -> List["RDD"]:
+        """The operator chain ``source -> ... -> self``, via lineage.
+
+        Resolved through the registry like :meth:`_compute` does, so the
+        chain stays valid across executor incarnations.  This is the
+        operator pipeline the streaming executor drives blocks through.
+        """
+        stages: List[RDD] = []
+        rdd: Optional[RDD] = self
+        while rdd is not None:
+            stages.append(rdd)
+            parent_id = rdd.lineage.parent_id
+            rdd = (
+                self.ctx.rdd(parent_id) if parent_id is not None else None
+            )
+        stages.reverse()
+        return stages
 
     # ------------------------------------------------------------------
     # Transformations (lazy)
@@ -281,6 +364,18 @@ class RDD:
                     self.ctx.batch_frame = None
         self.ctx.task_end()
         return total
+
+    def evaluate_streaming(self) -> int:
+        """Action: stream every partition through the operator chain.
+
+        The streaming sibling of :meth:`evaluate`: blocks flow through
+        the lineage stages under the context's bounded in-flight budget
+        instead of materializing whole RDDs.  Returns the same byte
+        total an :meth:`evaluate` of this RDD would.
+        """
+        from .streaming import StreamingExecutor
+
+        return StreamingExecutor(self.ctx).run(self).total_bytes
 
     #: temporary bytes allocated per cached byte processed in an epoch
     #: (gradient vectors, boxed intermediates)

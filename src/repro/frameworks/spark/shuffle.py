@@ -25,6 +25,8 @@ class ShuffleManager:
         self.conf = conf
         self.shuffles = 0
         self.bytes_shuffled = 0
+        #: shuffles that hit the VM's pre-allocation backpressure stall
+        self.backpressure_stalls = 0
 
     def shuffle(self, nbytes: int, records: int = 0) -> None:
         """One stage boundary moving ``nbytes`` of records."""
@@ -33,6 +35,13 @@ class ShuffleManager:
         vm = self.vm
         if records <= 0:
             records = max(1, nbytes // self.conf.shuffle_record_bytes)
+        # Shuffle buffers are a bulk allocation burst like any other:
+        # under a governor emergency they must stall and shed through the
+        # same pressure path the mutator uses, not sail past it.
+        before = vm.alloc_stalls
+        vm.stall_for_capacity(nbytes)
+        if vm.alloc_stalls > before:
+            self.backpressure_stalls += 1
         # Map side: serialize + spill.
         vm.serializer.charge_serialize(records, nbytes)
         device = self.conf.offheap_device

@@ -49,12 +49,41 @@ class RootSet:
         finally:
             self._frames.remove(frame)
 
+    def open_frame(self) -> StackFrame:
+        """Open a frame whose lifetime is not a lexical scope.
+
+        The streaming executor's in-flight blocks live from admission to
+        retirement (or spill) — lifetimes that interleave rather than
+        nest, so the :meth:`frame` context manager cannot express them.
+        The caller owns the frame and must :meth:`close_frame` it.
+        """
+        frame = StackFrame()
+        self._frames.append(frame)
+        return frame
+
+    def close_frame(self, frame: StackFrame) -> None:
+        """Close a frame opened with :meth:`open_frame` (idempotent)."""
+        if frame in self._frames:
+            self._frames.remove(frame)
+
     def add(self, obj: HeapObject) -> HeapObject:
         self._roots[obj.oid] = obj
         return obj
 
     def remove(self, obj: HeapObject) -> None:
         self._roots.pop(obj.oid, None)
+
+    def frame_pinned(self, obj: HeapObject) -> bool:
+        """Is ``obj`` pinned by an active mutator stack frame?
+
+        Distinct from :meth:`__contains__`: only the *frames* are
+        consulted, not the named roots — "some task currently holds this
+        object on its stack", the pin the block manager's eviction
+        paths must honour.
+        """
+        return any(
+            obj is pinned for f in self._frames for pinned in f.objects
+        )
 
     def __contains__(self, obj: HeapObject) -> bool:
         if obj.oid in self._roots:

@@ -168,16 +168,51 @@ def resilience_trace_events(log: Any) -> List[Dict[str, Any]]:
     return events
 
 
+def streaming_counter_events(result: Any) -> List[Dict[str, Any]]:
+    """A streaming run's in-flight budget telemetry as counter events.
+
+    ``result`` is a
+    :class:`~repro.frameworks.spark.streaming.StreamResult`; every
+    in-flight transition sampled during the run renders as a Chrome
+    counter event ("ph": "C"), so the bounded in-flight byte series —
+    and the spill/stall activity that bounded it — plots as a stacked
+    counter track against the GC lanes.
+    """
+    events: List[Dict[str, Any]] = []
+    if result is None:
+        return events
+    for time, inflight, spilled, stalls in result.counter_samples:
+        events.append(
+            {
+                "args": {
+                    "inflight_bytes": inflight,
+                    "spilled_bytes": spilled,
+                    "stalls": stalls,
+                },
+                "name": "stream_inflight",
+                "ph": "C",
+                "pid": 1,
+                "tid": 0,
+                "ts": round(time * 1e6, 3),
+            }
+        )
+    return events
+
+
 def chrome_trace_json(
-    engine: Any, label: str = "run", resilience: Any = None
+    engine: Any, label: str = "run", resilience: Any = None,
+    streaming: Any = None,
 ) -> str:
     """Serialize an engine's schedule as a Chrome Trace Event document.
 
     ``resilience`` optionally adds a VM's :class:`ResilienceLog` as
-    instant markers on the same timeline.
+    instant markers on the same timeline; ``streaming`` adds a
+    :class:`~repro.frameworks.spark.streaming.StreamResult`'s in-flight
+    counter track.
     """
     events = chrome_trace_events(engine)
     events.extend(resilience_trace_events(resilience))
+    events.extend(streaming_counter_events(streaming))
     doc = {
         "displayTimeUnit": "ms",
         "otherData": {
@@ -214,9 +249,15 @@ def vm_resilience_log(vm: Any) -> Optional[Any]:
 
 
 def write_chrome_trace(
-    path: str, engine: Any, label: str = "run", resilience: Any = None
+    path: str, engine: Any, label: str = "run", resilience: Any = None,
+    streaming: Any = None,
 ) -> None:
     """Write the engine's schedule to ``path`` (open with Perfetto or
     ``chrome://tracing``)."""
     with open(path, "w") as f:
-        f.write(chrome_trace_json(engine, label=label, resilience=resilience))
+        f.write(
+            chrome_trace_json(
+                engine, label=label, resilience=resilience,
+                streaming=streaming,
+            )
+        )

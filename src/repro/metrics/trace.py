@@ -143,6 +143,47 @@ def region_liveness_csv(liveness: List[RegionLiveness]) -> str:
     return out.getvalue()
 
 
+def streaming_blocks_csv(result) -> str:
+    """CSV of a streaming action's per-block records.
+
+    ``result`` is a
+    :class:`~repro.frameworks.spark.streaming.StreamResult`; one row per
+    dispatched block with its admission stalls and final fate
+    (consumed / persisted / spilled-h2 / spilled-ser), plus a trailing
+    ``totals`` row carrying the run-wide streaming counters.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(
+        ["partition", "block", "chunks", "bytes", "admit_stalls", "fate"]
+    )
+    for row in result.block_rows:
+        writer.writerow(
+            [
+                row["partition"],
+                row["block"],
+                row["chunks"],
+                row["bytes"],
+                row["admit_stalls"],
+                row["fate"],
+            ]
+        )
+    writer.writerow(
+        [
+            "totals",
+            result.blocks,
+            result.peak_inflight_bytes,
+            result.spill_bytes,
+            result.backpressure_stalls,
+            f"spills={result.spills} unspills={result.unspills} "
+            f"forced={result.forced_admissions} "
+            f"stall_s={result.stall_seconds:.6f} "
+            f"hidden_s={result.hidden_seconds:.6f}",
+        ]
+    )
+    return out.getvalue()
+
+
 def fault_schedule_csv(plan) -> str:
     """CSV of a :class:`~repro.faults.plan.FaultPlan`'s injected faults.
 

@@ -284,6 +284,35 @@ class JavaVM:
             return
         self.pressure_handlers.append(fn)
 
+    def stall_for_capacity(self, nbytes: int) -> int:
+        """Pre-allocation backpressure for bulk buffer producers.
+
+        Shuffle buffers and streaming blocks arrive in partition-sized
+        bursts; waiting for :meth:`allocate`'s per-object emergency path
+        means the burst is already half landed when the stall hits.
+        Callers that know they are about to produce ``nbytes`` call this
+        first: if the governor reports an emergency (circuit OPEN and H1
+        past the watermark), one stall round is charged — the thread
+        parks (``Bucket.ALLOC_STALL``) while the registered pressure
+        handlers shed cached bytes — before a single buffer byte exists.
+        Returns the bytes the handlers freed; 0 when no emergency is
+        active (the common, free case).
+        """
+        if self.governor is None or self.heap.capacity <= 0:
+            return 0
+        occupancy = self.heap.used() / self.heap.capacity
+        if not self.governor.emergency_active(occupancy):
+            return 0
+        gov_cfg = self.governor.config
+        self.alloc_stalls += 1
+        self.clock.charge(gov_cfg.alloc_stall_wait, Bucket.ALLOC_STALL)
+        self.clock.record_event("alloc_stall", gov_cfg.alloc_stall_wait)
+        target = max(nbytes, int(0.05 * self.heap.capacity))
+        freed = 0
+        for handler in self.pressure_handlers:
+            freed += handler(target)
+        return freed
+
     def _emergency_backpressure(self, obj: HeapObject) -> bool:
         """Last line before OOM: stall, shed cached data, GC, retry.
 

@@ -594,6 +594,33 @@ class H2Heap:
         )
 
     # ------------------------------------------------------------------
+    # Streaming spill traffic (raw block copies, no S/D)
+    # ------------------------------------------------------------------
+    def spill_write(self, nbytes: int) -> None:
+        """Write ``nbytes`` of raw in-flight block bytes to the device.
+
+        The streaming executor's backpressure spill: unlike the SD
+        policy's off-heap store, the bytes go out as-is (H2 objects need
+        no serialization), so the cost is pure device write under the
+        retry policy.  Charged to the caller's current clock context.
+        """
+        if nbytes <= 0:
+            return
+        self._io(
+            "h2_spill_write",
+            lambda: self.device.write(nbytes, AccessPattern.SEQUENTIAL),
+        )
+
+    def spill_read(self, nbytes: int) -> None:
+        """Read a previously spilled raw block back (no deserialization)."""
+        if nbytes <= 0:
+            return
+        self._io(
+            "h2_spill_read",
+            lambda: self.device.read(nbytes, AccessPattern.SEQUENTIAL),
+        )
+
+    # ------------------------------------------------------------------
     # GC access (card-segment scans and backward-reference rewrites)
     # ------------------------------------------------------------------
     def scan_load(self, lo: int, nbytes: int) -> None:

@@ -190,3 +190,97 @@ def test_page_cache_never_exceeds_capacity(accesses):
 def test_metadata_halves_per_doubling(power):
     size = (1 << power) * MiB
     assert metadata_bytes_per_tb(size * 2) * 2 == metadata_bytes_per_tb(size)
+
+
+# ---------------------------------------------------------------------
+# Block manager residency accounting
+# ---------------------------------------------------------------------
+def _bm_vm():
+    from repro import JavaVM, TeraHeapConfig, VMConfig, gb
+    from repro.config import GovernorConfig
+
+    return JavaVM(
+        VMConfig(
+            heap_size=gb(4),
+            teraheap=TeraHeapConfig(
+                enabled=True, h2_size=gb(32), region_size=64 * KiB
+            ),
+            page_cache_size=gb(4),
+            governor=GovernorConfig(),
+        )
+    )
+
+
+def _bm_cache(vm, bm, rdd, index):
+    from repro.frameworks.spark.rdd import MaterializedPartition
+
+    def build(_):
+        with vm.roots.frame() as frame:
+            chunks = [
+                frame.push(vm.allocate(8 * KiB, name=f"p{index}-c{i}"))
+                for i in range(3)
+            ]
+            root = vm.allocate(256, refs=chunks, name=f"p{index}")
+        return MaterializedPartition(root=root, chunks=chunks)
+
+    return bm.get_or_compute(rdd, index, build)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(
+                ["store", "spill", "shed", "evict", "gc", "reconcile"]
+            ),
+            st.integers(min_value=0, max_value=7),
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_block_manager_residency_never_drifts(ops):
+    """Counters always equal ground truth recomputed from the entries.
+
+    Whatever interleaving of stores, spills, sheds, evictions, major GCs
+    (H1 -> H2 migration) and reconciles runs, ``onheap_used`` /
+    ``h2_bytes`` / ``offheap_bytes`` must equal the sum of
+    ``charged_bytes()`` over entries charged to that bucket — the
+    single-exit invariant of ``_remove_entry``.
+    """
+    from repro.frameworks.spark import BlockManager, CachePolicy, SparkConf
+
+    vm = _bm_vm()
+    bm = BlockManager(vm, SparkConf(cache_policy=CachePolicy.TERAHEAP))
+
+    class Stub:
+        rdd_id = 1
+        name = "rdd-1"
+        cache_label = "rdd-1"
+
+    rdd = Stub()
+    for op, index in ops:
+        if op == "store":
+            _bm_cache(vm, bm, rdd, index)
+        elif op == "spill":
+            bm.spill_entry((1, index))
+        elif op == "shed":
+            bm.shed_blocks(16 * KiB)
+        elif op == "evict":
+            bm.evict_rdd(rdd)
+        elif op == "gc":
+            vm.major_gc()
+        else:
+            bm.reconcile_residency()
+        h1 = h2 = off = 0
+        for entry in bm.entries.values():
+            assert entry.charged in ("h1", "h2", "offheap")
+            if entry.charged == "h1":
+                h1 += entry.charged_bytes()
+            elif entry.charged == "h2":
+                h2 += entry.charged_bytes()
+            else:
+                off += entry.charged_bytes()
+        assert bm.onheap_used == h1
+        assert bm.h2_bytes == h2
+        assert bm.offheap_bytes == off
+        assert min(bm.onheap_used, bm.h2_bytes, bm.offheap_bytes) >= 0
