@@ -42,6 +42,7 @@ from .experiments import (
     fig13,
     gc_scaling,
     phoenix,
+    serverscale,
     streamscale,
     table5,
 )
@@ -65,6 +66,7 @@ EXPERIMENTS = [
     "brownout",
     "phoenix",
     "streamscale",
+    "serverscale",
     "bench",
 ]
 
@@ -218,6 +220,11 @@ def main(argv=None) -> int:
         if args.scale < 1.0:
             stream_args.append("--smoke")
         status = streamscale.main(stream_args)
+    elif args.experiment == "serverscale":
+        server_args = ["--check", "--check-determinism"]
+        if args.scale < 1.0:
+            server_args.append("--smoke")
+        status = serverscale.main(server_args)
     elif args.experiment == "bench":
         # The pinned perf-trajectory matrix; writes BENCH_0007.json.
         status = bench.main([])

@@ -66,8 +66,18 @@ class CostModel:
     #: still touches one deque slot per task)
     gc_steal_transfer_cost: float = 1e-6
     #: extra latency of a steal whose victim lane lives on another NUMA
-    #: node (remote cache-line transfer across the interconnect)
-    gc_numa_remote_premium: float = 6e-6
+    #: node (remote cache-line transfer across the interconnect).
+    #: Calibrated against published NUMA GC measurements: Gidra et al.,
+    #: "A study of the scalability of stop-the-world garbage collectors
+    #: on multicores" (ASPLOS'13) measure remote DRAM accesses at ~2.2x
+    #: the local latency on their 48-core Magny-Cours testbed, and
+    #: NumaGiC (Gidra et al., ASPLOS'15) reports the same interconnect
+    #: penalty dominating cross-node GC traffic.  A local steal costs
+    #: ``gc_steal_cost`` = 4e-6, so a remote steal at 2.2x local is
+    #: 8.8e-6 total — a premium of 1.2 x 4e-6 = 4.8e-6 (the previous
+    #: 6e-6 was an order-of-magnitude placeholder, i.e. a 2.5x ratio
+    #: nothing in the literature supports).
+    gc_numa_remote_premium: float = 4.8e-6
     #: per-worker share of the termination protocol ending a parallel
     #: phase (offer/spin rounds); single-worker phases skip it
     gc_termination_cost: float = 30e-6
@@ -202,11 +212,23 @@ class GCEngineConfig:
     #: dominates (overhead_grow_threshold)
     adaptive_batching: bool = False
     #: cycle imbalance (critical path / mean active lane time) above
-    #: which the controller halves the batch scale
-    imbalance_shrink_threshold: float = 1.3
+    #: which the controller halves the batch scale.  Calibrated to the
+    #: 10-15% of pause time Gidra et al. (ASPLOS'13) measure parallel
+    #: GC threads idling at the termination barrier of imbalanced
+    #: stop-the-world phases on NUMA multicores: a critical path more
+    #: than ~15% over the mean lane is exactly that regime, so the
+    #: controller reacts there instead of the old 1.3 placeholder
+    #: (which tolerated a 30% hot lane before doing anything).
+    imbalance_shrink_threshold: float = 1.15
     #: dispatch-overhead share of scheduled work above which the
-    #: controller doubles the batch scale back toward 1.0
-    overhead_grow_threshold: float = 0.15
+    #: controller doubles the batch scale back toward 1.0.  Hassanein,
+    #: "Understanding and improving JVM GC work stealing at the data
+    #: center scale" (ISMM'16) measures steal-and-dispatch overhead
+    #: (steal attempts, spinning, termination) at ~10-15% of GC time in
+    #: production parallel collections before tuning; past ~12% the
+    #: decomposition is oversized and the controller grows batches back
+    #: (the old 0.15 sat at the very top of the measured band).
+    overhead_grow_threshold: float = 0.12
     #: floor of the controller's multiplicative batch scale
     min_batch_scale: float = 0.25
     #: objects per marking/scan batch task

@@ -116,18 +116,39 @@ class DeviceHealthMonitor:
         self.config = config or HealthConfig()
         self._devices: Dict[str, _DeviceHealth] = {}
         self.transitions: List[HealthTransition] = []
-        self._listeners: List[Callable[[HealthTransition], None]] = []
+        #: (owner, callback) pairs; owner None marks unscoped listeners
+        self._listeners: List[tuple] = []
         self.observations = 0
         self.errors = 0
 
     # ------------------------------------------------------------------
-    def add_listener(self, fn: Callable[[HealthTransition], None]) -> None:
-        """Call ``fn`` on every state transition (e.g. the H2 governor)."""
-        self._listeners.append(fn)
+    def add_listener(
+        self,
+        fn: Callable[[HealthTransition], None],
+        owner: Optional[object] = None,
+    ) -> None:
+        """Call ``fn`` on every state transition (e.g. the H2 governor).
 
-    def detach_listeners(self) -> None:
-        """Drop every listener (a retired VM must stop driving anything)."""
-        self._listeners.clear()
+        ``owner`` scopes the registration: a monitor shared across
+        co-located VMs detaches one tenant's listeners on retirement via
+        ``detach_listeners(owner)`` without touching its siblings'.
+        """
+        self._listeners.append((owner, fn))
+
+    def detach_listeners(self, owner: Optional[object] = None) -> None:
+        """Drop listeners (a retired VM must stop driving anything).
+
+        With ``owner=None`` every listener goes — the right call for a
+        monitor owned by a single VM.  With an owner, only that owner's
+        registrations are dropped: on a *shared* monitor a retiring
+        tenant must never strip the governors of tenants still running.
+        """
+        if owner is None:
+            self._listeners.clear()
+            return
+        self._listeners = [
+            (who, fn) for who, fn in self._listeners if who is not owner
+        ]
 
     def _entry(self, device: str) -> _DeviceHealth:
         health = self._devices.get(device)
@@ -235,7 +256,7 @@ class DeviceHealthMonitor:
         transition = HealthTransition(self.clock.now, device, old, new, reason)
         self.transitions.append(transition)
         self.clock.record_event(f"device_{new.value}", 0.0)
-        for fn in self._listeners:
+        for _, fn in self._listeners:
             fn(transition)
 
     # ------------------------------------------------------------------

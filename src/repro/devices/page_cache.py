@@ -71,9 +71,7 @@ class PageCache:
         return self.hits / total if total else 0.0
 
     # ------------------------------------------------------------------
-    def _insert(self, page: int, dirty: bool) -> None:
-        self._pages[page] = dirty
-        self._pages.move_to_end(page)
+    def _evict_over_limit(self) -> None:
         while len(self._pages) > self.max_pages:
             evicted, was_dirty = self._pages.popitem(last=False)
             self.evictions += 1
@@ -84,6 +82,26 @@ class PageCache:
                 # page granularity: it lands whole or not at all, so it
                 # commits without a crash check.
                 self.durable_image.commit((evicted,))
+
+    def _insert(self, page: int, dirty: bool) -> None:
+        self._pages[page] = dirty
+        self._pages.move_to_end(page)
+        self._evict_over_limit()
+
+    def resize(self, capacity: int) -> int:
+        """Re-carve this cache to ``capacity`` bytes; returns new max pages.
+
+        The server layer's arbiter repartitions one box-wide DR2 budget
+        across co-located tenants each epoch; shrinking evicts down to
+        the new limit immediately (LRU order, dirty pages written back),
+        growing just raises the ceiling.  The durable image is untouched
+        — quota moves never cost a tenant its crash-recoverable state.
+        """
+        if capacity < self.page_size:
+            raise ValueError("page cache smaller than one page")
+        self.max_pages = capacity // self.page_size
+        self._evict_over_limit()
+        return self.max_pages
 
     # ------------------------------------------------------------------
     def _crash_cut(self, safepoint: str, npages: int):

@@ -68,6 +68,8 @@ __all__ = [
     "get_default_audit_level",
     "registered_policies",
     "registered_auditors",
+    "unregister_policy",
+    "unregister_auditor",
     "reset_defaults",
     "reset_registries",
     "resilience_summary",
@@ -127,6 +129,43 @@ def register_auditor(auditor: object) -> None:
     _auditors.append(auditor)
 
 
+def unregister_policy(policy: ResiliencePolicy) -> None:
+    """Drop one VM's policy, folding its counters into the totals first.
+
+    The per-tenant counterpart of :func:`reset_registries`: retiring one
+    co-located VM removes only *its* entry, so sibling tenants' policies
+    (and their fault schedules and counters) stay registered untouched,
+    while the CLI's end-of-run aggregate still includes the dead VM.
+    Idempotent — unregistering a policy twice folds it once.
+    """
+    try:
+        _policies.remove(policy)
+    except ValueError:
+        return
+    _summary_totals["faults_injected"] = (
+        _summary_totals.get("faults_injected", 0.0)
+        + policy.plan.total_injected
+    )
+    for key, value in policy.log.summary().items():
+        _summary_totals[key] = _summary_totals.get(key, 0.0) + value
+
+
+def unregister_auditor(auditor: object) -> None:
+    """Drop one VM's auditor, folding its counters into the totals first.
+
+    Scoped like :func:`unregister_policy`; idempotent."""
+    try:
+        _auditors.remove(auditor)
+    except ValueError:
+        return
+    _summary_totals["audits_run"] = _summary_totals.get(
+        "audits_run", 0.0
+    ) + getattr(auditor, "audits_run", 0)
+    _summary_totals["invariant_violations"] = _summary_totals.get(
+        "invariant_violations", 0.0
+    ) + getattr(auditor, "violations_found", 0)
+
+
 def registered_policies() -> List[ResiliencePolicy]:
     return list(_policies)
 
@@ -158,6 +197,13 @@ def reset_registries() -> None:
     across cells, while :func:`resilience_summary` still reports the
     whole process's aggregate at the end.  The armed defaults stay
     installed — only the per-VM registries are drained.
+
+    This is a *process-level* teardown between experiment cells, not a
+    per-tenant lifecycle hook: it resets only the process-default store,
+    so co-located VMs built over private ``HeapStore`` instances keep
+    their rows, clocks and fault schedules.  Retiring a single tenant
+    goes through :func:`unregister_policy` / :func:`unregister_auditor`
+    (via ``JavaVM.retire``) instead.
     """
     from ..heap.store import reset_store
 
@@ -166,9 +212,10 @@ def reset_registries() -> None:
     _summary_totals.update(folded)
     _policies.clear()
     _auditors.clear()
-    # The object store is process-global like the registries: dropping it
-    # restarts the oid counter and releases every column, so back-to-back
-    # configs neither leak heap graphs nor inflate oids between cells.
+    # The *default* object store is process-global like the registries:
+    # dropping it restarts the oid counter and releases every column, so
+    # back-to-back configs neither leak heap graphs nor inflate oids
+    # between cells.  Private per-tenant stores are untouched.
     reset_store()
 
 

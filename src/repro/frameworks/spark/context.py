@@ -170,8 +170,26 @@ class SparkContext:
                 old.config.faults, crash_point=None, crash_stage=None
             )
         config = dataclasses.replace(old.config, faults=fault)
+        # A tenant built over a private store restarts into a *fresh*
+        # private store (the crash destroyed the process's heap; sharing
+        # rows with the dead incarnation would alias oids).  The default
+        # single-VM path keeps passing None, so the successor attaches
+        # the process-default store exactly as before.
+        from ...heap.store import HeapStore, get_store
+
+        successor_store = (
+            None if old.store is get_store() else HeapStore()
+        )
+        # A *shared* device-health monitor outlives any one tenant — the
+        # device's physical condition does not reset because one of its
+        # consumers died — so the successor re-subscribes to the same
+        # monitor.  A VM-owned monitor stays per-incarnation (fresh, zero
+        # observations), which restart's contract promises.
+        shared_health = old.health if not old._owns_health else None
         old.retire()
-        successor = JavaVM(config)
+        successor = JavaVM(
+            config, store=successor_store, health=shared_health
+        )
         if old.resilience is not None and successor.resilience is not None:
             # Keep the incident history (the crash itself, the faults
             # leading up to it) continuous across the incarnation change.

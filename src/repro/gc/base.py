@@ -194,7 +194,9 @@ class Collector:
 
         self.stats = GCStats()
         #: the struct-of-arrays store backing this VM's objects; trace
-        #: kernels index its flat columns instead of chasing handles
+        #: kernels index its flat columns instead of chasing handles.
+        #: Defaults to the process-wide store; a JavaVM built with a
+        #: private store re-attaches this right after construction.
         self.store = get_store()
         self.mark_epoch = 0
         #: engine phase executions of the in-flight cycle

@@ -181,12 +181,14 @@ class HeapObject:
         is_reference: bool = False,
         serializable: bool = True,
         scan_factor: float = 1.0,
+        store=None,
     ):
         if size < MIN_OBJECT_SIZE:
             raise ValueError(
                 f"object size {size} below minimum {MIN_OBJECT_SIZE}"
             )
-        store = get_store()
+        if store is None:
+            store = get_store()
         flags = 0
         if is_metadata:
             flags |= FLAG_METADATA

@@ -336,8 +336,12 @@ class HeapStore:
 
 
 # ----------------------------------------------------------------------
-# The active store.  One per VM generation; experiments reset between
-# configs via repro.faults.reset_registries -> reset_store().
+# The *default* store: a convenience for single-VM experiments, which
+# reset between configs via repro.faults.reset_registries ->
+# reset_store().  Multi-tenant callers (the server layer) give each
+# JavaVM its own private HeapStore instead, so one tenant's rows, oid
+# counter and handles can never alias a sibling's and a reset of the
+# default store cannot invalidate any co-located tenant's live handles.
 _active_store: Optional[HeapStore] = None
 
 

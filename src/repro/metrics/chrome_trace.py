@@ -199,6 +199,116 @@ def streaming_counter_events(result: Any) -> List[Dict[str, Any]]:
     return events
 
 
+def server_trace_events(box: Any) -> List[Dict[str, Any]]:
+    """A server box run as per-tenant timeline lanes.
+
+    ``box`` is a :class:`~repro.server.box.ServerBox` after
+    :meth:`~repro.server.box.ServerBox.run`.  Each tenant renders as its
+    own process (pid = tenant index + 2, pid 1 stays reserved for the
+    single-VM engine layout): complete ("X") events for every GC pause,
+    instant markers for recorded clock events (alloc stalls, restarts),
+    all shifted by the tenant's ``base_time`` so lanes share the box
+    timeline.  The arbiters contribute counter tracks on pid 1: each
+    epoch's per-tenant bandwidth share and H2 byte budget.
+    """
+    events: List[Dict[str, Any]] = []
+    for tenant in box.tenants:
+        pid = tenant.index + 2
+        events.append(
+            {
+                "args": {"name": f"tenant {tenant.name}"},
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+            }
+        )
+        for cycle in tenant.vm.collector.stats.cycles:
+            events.append(
+                {
+                    "args": {
+                        "reclaimed": cycle.reclaimed_bytes,
+                        "to_h2": cycle.moved_to_h2_bytes,
+                    },
+                    "cat": "gc",
+                    "dur": round(cycle.duration * 1e6, 3),
+                    "name": cycle.kind,
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": round(
+                        (tenant.base_time + cycle.start_time) * 1e6, 3
+                    ),
+                }
+            )
+        for time, name, duration in tenant.vm.clock.events:
+            events.append(
+                {
+                    "args": {"duration_s": round(duration, 9)},
+                    "name": name,
+                    "ph": "i",
+                    "pid": pid,
+                    "s": "p",
+                    "tid": 0,
+                    "ts": round((tenant.base_time + time) * 1e6, 3),
+                }
+            )
+    events.append(
+        {
+            "args": {"name": "box arbiters"},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+        }
+    )
+    for record in box.pressure.records:
+        events.append(
+            {
+                "args": {
+                    name: round(share, 6)
+                    for name, share in sorted(record.shares.items())
+                },
+                "name": "bw_share",
+                "ph": "C",
+                "pid": 1,
+                "tid": 0,
+                "ts": round(record.time * 1e6, 3),
+            }
+        )
+        events.append(
+            {
+                "args": dict(sorted(record.h2_budgets.items())),
+                "name": "h2_budget",
+                "ph": "C",
+                "pid": 1,
+                "tid": 0,
+                "ts": round(record.time * 1e6, 3),
+            }
+        )
+    return events
+
+
+def server_chrome_trace_json(box: Any, label: str = "serverscale") -> str:
+    """Serialize a finished server box as a Chrome Trace document."""
+    report = box._report()
+    doc = {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "label": label,
+            "tenants": box.spec.tenants,
+            "arbiter": box.spec.arbiter,
+            "epochs": report.epochs,
+            "makespan": round(report.makespan, 9),
+            "aggregateThroughput": round(report.aggregate_throughput, 3),
+            "deviceBusyFraction": round(report.device_busy_fraction, 6),
+            "fairnessGap": round(report.fairness_gap, 6),
+        },
+        "traceEvents": server_trace_events(box),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
 def chrome_trace_json(
     engine: Any, label: str = "run", resilience: Any = None,
     streaming: Any = None,

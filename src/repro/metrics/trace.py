@@ -184,6 +184,76 @@ def streaming_blocks_csv(result) -> str:
     return out.getvalue()
 
 
+def server_tenants_csv(report) -> str:
+    """CSV of a server box run: one row per co-located tenant.
+
+    ``report`` is a :class:`~repro.server.box.BoxReport`; a trailing
+    ``box`` row carries the aggregate (makespan, throughput, device
+    saturation, fairness gap, arbitration epochs).
+    """
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(
+        [
+            "tenant",
+            "dataset_bytes",
+            "processed_bytes",
+            "finish_s",
+            "velocity_bps",
+            "progress_rate",
+            "gc_s",
+            "stall_s",
+            "alloc_stalls",
+            "pauses",
+            "p99_pause_s",
+            "h2_moved_bytes",
+            "cache_hit_ratio",
+            "device_read",
+            "device_written",
+        ]
+    )
+    for t in report.tenants:
+        writer.writerow(
+            [
+                t.name,
+                t.dataset_bytes,
+                t.processed_bytes,
+                f"{t.finish_time:.6f}",
+                f"{t.velocity:.3f}",
+                f"{t.progress_rate:.6f}",
+                f"{t.gc_seconds:.6f}",
+                f"{t.stall_seconds:.6f}",
+                t.alloc_stalls,
+                t.pauses,
+                f"{t.p99_pause:.6f}",
+                t.h2_moved_bytes,
+                f"{t.cache_hit_ratio:.4f}",
+                t.device_read,
+                t.device_written,
+            ]
+        )
+    writer.writerow(
+        [
+            "box",
+            report.spec_tenants,
+            "arbiter" if report.arbiter else "static",
+            f"{report.makespan:.6f}",
+            f"{report.aggregate_throughput:.3f}",
+            f"{report.fairness_gap:.6f}",
+            f"{report.device_busy_fraction:.6f}",
+            f"epochs={report.epochs}",
+            "",
+            "",
+            "",
+            "",
+            "",
+            "",
+            "",
+        ]
+    )
+    return out.getvalue()
+
+
 def fault_schedule_csv(plan) -> str:
     """CSV of a :class:`~repro.faults.plan.FaultPlan`'s injected faults.
 

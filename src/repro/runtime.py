@@ -24,10 +24,13 @@ from .faults import (
     get_default_governor_config,
     register_auditor,
     register_policy,
+    unregister_auditor,
+    unregister_policy,
 )
 from .faults.plan import FaultConfig
 from .faults.policy import ResiliencePolicy
 from .heap.audit import HeapAuditor, make_auditor
+from .heap.store import HeapStore, get_store
 from .gc.parallel_scavenge import (
     ParallelScavenge,
     ParallelScavengeJDK11,
@@ -54,19 +57,33 @@ class JavaVM:
         config: VMConfig,
         h2_device: Optional[Device] = None,
         old_gen_device: Optional[Device] = None,
+        store: Optional[HeapStore] = None,
+        health: Optional[DeviceHealthMonitor] = None,
     ):
         self.config = config
         self.cost = config.cost
         self.clock = Clock()
+        #: the struct-of-arrays store all of this VM's objects live in.
+        #: ``None`` attaches the process-default store (the single-VM
+        #: path, byte-identical to the historical singleton behaviour);
+        #: co-located tenants pass a private ``HeapStore`` each so oid
+        #: rows and handles can never alias across VMs and one tenant's
+        #: store reset cannot invalidate a sibling's live objects.
+        self.store = store if store is not None else get_store()
         self.roots = RootSet()
         self.hints = HintInterface()
         self.h2: Optional[H2Heap] = None
         self.old_gen_device = old_gen_device
         self.resilience: Optional[ResiliencePolicy] = None
         self.auditor: Optional[HeapAuditor] = None
-        #: device-health watchdog + H2 circuit breaker (teraheap only)
+        #: device-health watchdog + H2 circuit breaker (teraheap only).
+        #: May be a *shared* monitor injected by the server layer, in
+        #: which case this VM only owns its listener registrations.
         self.health: Optional[DeviceHealthMonitor] = None
+        self._owns_health = True
         self.governor = None
+        self._registered_policy = False
+        self._registered_auditor = False
         #: callbacks ``fn(target_bytes) -> freed_bytes`` run under
         #: emergency backpressure (e.g. block-manager cache shedding)
         self.pressure_handlers = []
@@ -105,6 +122,7 @@ class JavaVM:
                         # Armed via the process-global default (the CLI's
                         # --faults flag): register for aggregate reporting.
                         register_policy(self.resilience)
+                        self._registered_policy = True
                 gov_cfg = config.governor or get_default_governor_config()
                 if gov_cfg is not None and gov_cfg.enabled:
                     from .teraheap.governor import H2Governor
@@ -117,19 +135,29 @@ class JavaVM:
                         self.resilience = ResiliencePolicy(
                             FaultConfig(), self.clock
                         )
-                    self.health = DeviceHealthMonitor(
-                        self.clock, gov_cfg.health
-                    )
+                    if health is not None:
+                        # Shared monitor (co-located tenants watching one
+                        # physical device): one EWMA set, one HEALTHY/
+                        # DEGRADED/BROWNOUT classification every tenant's
+                        # governor consults — not N divergent copies.
+                        self.health = health
+                        self._owns_health = False
+                    else:
+                        self.health = DeviceHealthMonitor(
+                            self.clock, gov_cfg.health
+                        )
                     log = self.resilience.log
                     self.health.add_listener(
                         lambda t: log.record_health(
                             t.time, t.device, t.old.value, t.new.value,
                             t.reason,
-                        )
+                        ),
+                        owner=self,
                     )
                     self.resilience.attach_monitor(self.health)
                     self.governor = H2Governor(
-                        gov_cfg, self.health, self.clock, log=log
+                        gov_cfg, self.health, self.clock, log=log,
+                        owner=self,
                     )
                 self.h2 = H2Heap(
                     config.teraheap,
@@ -137,6 +165,7 @@ class JavaVM:
                     self.clock,
                     config.page_cache_size,
                     resilience=self.resilience,
+                    store=self.store,
                 )
                 from .teraheap.collector import TeraHeapCollector
 
@@ -201,6 +230,9 @@ class JavaVM:
                 enable_teraheap=config.teraheap.enabled,
             )
 
+        # Collectors default to the process-wide store; a VM built over a
+        # private store re-attaches so trace kernels index its columns.
+        self.collector.store = self.store
         self.serializer = KryoSerializer(
             self.clock, self.cost, allocate_temp=self.allocate_temp
         )
@@ -218,6 +250,7 @@ class JavaVM:
             self.auditor = make_auditor(self, audit_level)
             if self.auditor is not None and config.audit is None:
                 register_auditor(self.auditor)
+                self._registered_auditor = True
 
     # ==================================================================
     # Allocation
@@ -239,6 +272,7 @@ class JavaVM:
             is_metadata=is_metadata,
             is_reference=is_reference,
             serializable=serializable,
+            store=self.store,
         )
         self.clock.charge(self.cost.alloc_cost, Bucket.OTHER)
         if self.heap.try_allocate(obj):
@@ -400,7 +434,7 @@ class JavaVM:
         remaining = nbytes
         while remaining > 0:
             chunk = min(TEMP_CHUNK, max(remaining, 16))
-            obj = HeapObject(chunk, name="sd-temp")
+            obj = HeapObject(chunk, name="sd-temp", store=self.store)
             self.clock.charge(self.cost.alloc_cost, Bucket.OTHER)
             if not self.heap.try_allocate(obj):
                 self.minor_gc()
@@ -537,11 +571,26 @@ class JavaVM:
         zero health observations, a CLOSED circuit, zero alloc-stall
         counters — which :meth:`~repro.frameworks.spark.context.SparkContext.restart`
         relies on.  Idempotent.
+
+        Everything dropped here is scoped to *this* VM: on a shared
+        health monitor only this VM's listeners detach (sibling tenants'
+        governors keep theirs), and only this VM's policy/auditor leave
+        the global registries — their counters folded into the aggregate
+        so the CLI's end-of-run summary still tells the whole story.
         """
         self.retired = True
         self.pressure_handlers.clear()
         if self.health is not None:
-            self.health.detach_listeners()
+            if self._owns_health:
+                self.health.detach_listeners()
+            else:
+                self.health.detach_listeners(owner=self)
+        if self._registered_policy and self.resilience is not None:
+            unregister_policy(self.resilience)
+            self._registered_policy = False
+        if self._registered_auditor and self.auditor is not None:
+            unregister_auditor(self.auditor)
+            self._registered_auditor = False
 
     def recover_h2(self, image):
         """Recover a crashed process's durable H2 image into this VM.

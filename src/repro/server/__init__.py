@@ -1,0 +1,38 @@
+"""Multi-tenant server layer: co-located VMs over shared devices.
+
+The paper evaluates TeraHeap one JVM at a time, but its motivating
+setting (Section 1: analytics clusters overprovisioning DRAM) is a
+*server* running several executor JVMs against one NVMe device and one
+DRAM budget.  This package models that box:
+
+- :class:`~repro.server.arbiter.BandwidthArbiter` +
+  :class:`~repro.server.arbiter.TenantDevice` — one shared device whose
+  bandwidth is carved into per-tenant fair shares, with work-conserving
+  borrowing of idle tenants' headroom.
+- :class:`~repro.server.arbiter.MemoryPressureArbiter` — the global
+  memory-pressure governor: per-tenant GC-share and alloc-stall EWMAs
+  drive epoch-by-epoch reallocation of H2 byte budgets, DR2 page-cache
+  quotas and H1 high/low watermarks.
+- :class:`~repro.server.box.ServerBox` — boots N :class:`JavaVM`
+  tenants (private heap stores, shared device-health monitor), runs
+  their workloads under a deterministic min-clock scheduler, and
+  reports aggregate throughput, fairness and device saturation.
+"""
+
+from .arbiter import (
+    BandwidthArbiter,
+    MemoryPressureArbiter,
+    TenantDevice,
+)
+from .box import ServerBox, ServerSpec, Tenant
+from .workload import CachedAnalyticsWorkload
+
+__all__ = [
+    "BandwidthArbiter",
+    "CachedAnalyticsWorkload",
+    "MemoryPressureArbiter",
+    "ServerBox",
+    "ServerSpec",
+    "Tenant",
+    "TenantDevice",
+]

@@ -439,6 +439,13 @@ class TeraHeapCollector(ParallelScavenge):
                     # legacy failure budget the governor supersedes and
                     # lets the circuit trip before the budget burns.
                     abort = True
+                if getattr(exc, "budget_denial", False):
+                    # An arbiter-imposed byte budget, not a sick device:
+                    # the movers fall back to H1 this cycle, but the
+                    # denial must not burn the resilience failure budget
+                    # — the quota may well grow back next epoch.
+                    abort = True
+                    continue
                 if res is not None:
                     res.note_failure("h2_assign_address", exc)
                     continue

@@ -70,6 +70,7 @@ class H2Governor:
         monitor: DeviceHealthMonitor,
         clock: Clock,
         log=None,
+        owner=None,
     ):
         self.config = config
         self.monitor = monitor
@@ -87,7 +88,9 @@ class H2Governor:
         self._backoff = config.probe_backoff
         self._next_probe_at = float("inf")
         self._close_streak = 0
-        monitor.add_listener(self._on_health)
+        # Owner-scoped on shared monitors: retiring `owner` detaches this
+        # governor without unhooking sibling tenants' circuits.
+        monitor.add_listener(self._on_health, owner=owner)
 
     # ------------------------------------------------------------------
     def _on_health(self, transition: HealthTransition) -> None:

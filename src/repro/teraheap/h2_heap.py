@@ -45,8 +45,12 @@ class H2Heap:
         clock: Clock,
         page_cache_size: int,
         resilience=None,
+        store=None,
     ):
         self.config = config
+        #: the heap store recovery rehydrates objects into; ``None``
+        #: falls back to the process-default store (single-VM path)
+        self.store = store
         #: optional ResiliencePolicy; when set, the device is fronted by a
         #: fault injector and every H2 I/O path runs under the retry loop
         self.resilience = resilience
@@ -108,6 +112,13 @@ class H2Heap:
         self.commits = 0
         #: the report of the recovery that built this heap, if any
         self.recovery_report: Optional[RecoveryReport] = None
+        #: soft cap on this heap's device footprint in bytes; ``None``
+        #: leaves the whole ``h2_size`` mapping usable.  The server
+        #: layer's memory-pressure arbiter carves a shared device across
+        #: tenants by moving these budgets each epoch; exceeding the
+        #: budget denies the region (a graceful device-full, so movers
+        #: fall back to the in-H1 path, not an abort).
+        self.byte_budget: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Region management
@@ -144,6 +155,22 @@ class H2Heap:
                 device=self.device.name,
                 requested=self.config.region_size,
             )
+        if self.byte_budget is not None:
+            # Device footprint = every allocated region, empty or not —
+            # an empty region still occupies its slice of the mapping.
+            in_use = len(self.regions) - len(self._free_indices)
+            if (in_use + 1) * self.config.region_size > self.byte_budget:
+                denial = DeviceFullError(
+                    f"H2 byte budget exhausted on {self.device.name}: "
+                    f"{in_use} regions in use against a budget of "
+                    f"{self.byte_budget} B",
+                    device=self.device.name,
+                    requested=self.config.region_size,
+                )
+                # Marks a quota denial (elastic, arbiter-imposed) apart
+                # from a genuinely full or faulted device.
+                denial.budget_denial = True
+                raise denial
         if self._free_indices:
             index = self._free_indices.pop()
             region = self.regions[index]
@@ -421,7 +448,9 @@ class H2Heap:
             region.allocated_epoch = 0
             self.regions[index] = region
             for _, size in entry.objects:
-                obj = HeapObject(size, name=f"recovered:{entry.label}")
+                obj = HeapObject(
+                    size, name=f"recovered:{entry.label}", store=self.store
+                )
                 region.allocate(obj)
                 obj.label = entry.label
             region.deps = set(entry.deps)
